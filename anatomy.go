@@ -1,0 +1,70 @@
+package astriflash
+
+import "fmt"
+
+// BucketShare is one latency-attribution bucket's share of total request
+// time.
+type BucketShare struct {
+	Bucket   string
+	Ns       int64
+	Fraction float64
+}
+
+// LatencyBreakdown returns where request time went in the machine's last
+// measurement window: compute, on-chip caches, page-table walks,
+// DRAM-cache service, flash waits, scheduling, and OS paging. It is the
+// quantitative form of the paper's Section II-C overhead taxonomy.
+func (m *Machine) LatencyBreakdown() []BucketShare {
+	var out []BucketShare
+	for _, b := range m.sys.LatencyBreakdown() {
+		out = append(out, BucketShare{Bucket: b.Bucket, Ns: b.Ns, Fraction: b.Fraction})
+	}
+	return out
+}
+
+// AnatomyRow is one configuration's request-time anatomy.
+type AnatomyRow struct {
+	Config string
+	Shares []BucketShare
+}
+
+// Anatomy runs the given configurations on one workload and reports each
+// one's latency anatomy — making visible exactly which overhead each
+// design removes: OS-Swap bleeds into os-paging, Flash-Sync into
+// flash-wait on the critical path, AstriFlash converts both into
+// overlapped flash-wait plus a sliver of scheduling.
+func Anatomy(cfg ExpConfig, workloadName string, modes []Mode) ([]AnatomyRow, error) {
+	if modes == nil {
+		modes = []Mode{DRAMOnly, AstriFlash, OSSwap, FlashSync}
+	}
+	var rows []AnatomyRow
+	for _, mode := range modes {
+		m, err := NewMachine(cfg.options(mode, workloadName))
+		if err != nil {
+			return nil, err
+		}
+		m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+		rows = append(rows, AnatomyRow{Config: mode.String(), Shares: m.LatencyBreakdown()})
+	}
+	return rows, nil
+}
+
+// RenderAnatomy formats anatomy rows as a percentage table.
+func RenderAnatomy(rows []AnatomyRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"config"}
+	for _, s := range rows[0].Shares {
+		header = append(header, s.Bucket)
+	}
+	var out [][]string
+	for _, r := range rows {
+		cells := []string{r.Config}
+		for _, s := range r.Shares {
+			cells = append(cells, fmt.Sprintf("%.1f%%", s.Fraction*100))
+		}
+		out = append(out, cells)
+	}
+	return renderTable("Request-time anatomy (share of attributed request time)", header, out)
+}

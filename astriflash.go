@@ -1,0 +1,316 @@
+// Package astriflash is a full-system reproduction of "AstriFlash: A
+// Flash-Based System for Online Services" (HPCA 2023): a flash-backed
+// memory hierarchy for online services in which DRAM is a hardware-managed
+// cache holding the hot ~3% of the dataset, DRAM-cache misses trigger
+// ~100 ns user-level thread switches instead of OS paging, and an in-DRAM
+// Miss Status Row tracks hundreds of concurrent flash fetches.
+//
+// The package exposes the simulator behind the paper's evaluation: build a
+// Machine for one of the seven evaluated configurations (DRAM-only,
+// AstriFlash and its ablations, OS-Swap, Flash-Sync), drive it closed-loop
+// for throughput or open-loop for tail latency, and read back latency
+// distributions and device statistics. The Experiments API (fig*.go,
+// table*.go) regenerates every figure and table in the paper's evaluation
+// section.
+//
+// All simulation is deterministic: the same Options produce bit-identical
+// results.
+package astriflash
+
+import (
+	"fmt"
+
+	"astriflash/internal/dramcache"
+	"astriflash/internal/system"
+	"astriflash/internal/workload"
+)
+
+// Mode selects one of the paper's evaluated configurations (Section V-B).
+type Mode int
+
+// The evaluated configurations.
+const (
+	// DRAMOnly holds the whole dataset in DRAM: the ideal baseline.
+	DRAMOnly Mode = iota
+	// AstriFlash is the full proposal: hardware-managed DRAM cache,
+	// switch-on-miss, priority scheduling with aging.
+	AstriFlash
+	// AstriFlashIdeal is AstriFlash with free thread switches.
+	AstriFlashIdeal
+	// AstriFlashNoPS replaces the priority scheduler with FIFO.
+	AstriFlashNoPS
+	// AstriFlashNoDP removes DRAM partitioning: page-table walks can hit
+	// flash.
+	AstriFlashNoDP
+	// OSSwap is traditional demand paging over the same flash.
+	OSSwap
+	// FlashSync accesses flash synchronously (FlatFlash-style).
+	FlashSync
+)
+
+// Modes returns all configurations in presentation order.
+func Modes() []Mode {
+	return []Mode{DRAMOnly, AstriFlash, AstriFlashIdeal, AstriFlashNoPS, AstriFlashNoDP, OSSwap, FlashSync}
+}
+
+// String returns the paper's name for the configuration.
+func (m Mode) String() string { return m.internal().String() }
+
+func (m Mode) internal() system.Mode {
+	switch m {
+	case DRAMOnly:
+		return system.DRAMOnly
+	case AstriFlash:
+		return system.AstriFlash
+	case AstriFlashIdeal:
+		return system.AstriFlashIdeal
+	case AstriFlashNoPS:
+		return system.AstriFlashNoPS
+	case AstriFlashNoDP:
+		return system.AstriFlashNoDP
+	case OSSwap:
+		return system.OSSwap
+	case FlashSync:
+		return system.FlashSync
+	default:
+		panic(fmt.Sprintf("astriflash: unknown mode %d", int(m)))
+	}
+}
+
+// Workloads returns the evaluation workload names in the paper's order:
+// arrayswap, rbt, hashtable, tatp, tpcc, silo, masstree.
+func Workloads() []string { return workload.Names() }
+
+// Options configures one simulated machine. The zero value is not valid;
+// start from DefaultOptions.
+type Options struct {
+	// Mode is the evaluated configuration.
+	Mode Mode
+	// Workload is one of Workloads().
+	Workload string
+	// Cores is the simulated core count (paper: 16).
+	Cores int
+	// DatasetBytes is the flash-resident dataset footprint. The paper's
+	// 256 GB is scaled down; ratios (cache fraction, hot fraction) are
+	// preserved.
+	DatasetBytes uint64
+	// CacheFraction is the DRAM-cache capacity as a fraction of the
+	// dataset (paper: 0.03).
+	CacheFraction float64
+	// HotAccessFraction is the share of accesses served by the hot set;
+	// it calibrates the paper's miss-every-5-25-us behavior.
+	HotAccessFraction float64
+	// WriteFraction is the probability a workload operation mutates.
+	WriteFraction float64
+	// SwitchCostNs is the user-level thread-switch cost (paper: 100 ns).
+	SwitchCostNs int64
+	// PendingLimit bounds the per-core pending queue.
+	PendingLimit int
+	// FlashReadNs overrides the flash cell-read latency when nonzero.
+	FlashReadNs int64
+	// FlashChannels overrides the device channel count when nonzero
+	// (smaller devices concentrate garbage collection, Section VI-D).
+	FlashChannels int
+	// FlashBlocksPerPlane and FlashPagesPerBlock override the device
+	// geometry when nonzero; the GC experiments size physical capacity
+	// relative to the dataset so garbage collection actually runs.
+	FlashBlocksPerPlane int
+	FlashPagesPerBlock  int
+	// LocalGC enables Tiny-Tail-style local garbage collection.
+	LocalGC bool
+	// CacheReplacement selects the DRAM-cache victim policy: "lru"
+	// (default), "fifo", or "random" — a BC microcode knob, since the
+	// backside controller is programmable (Section IV-B2).
+	CacheReplacement string
+	// OSShootdownBatch, for OS-Swap, coalesces this many page installs
+	// into one broadcast TLB shootdown (the batching optimization the
+	// paper cites in Section II-C; it reduces but does not remove the
+	// scaling problem).
+	OSShootdownBatch int
+	// FootprintCache enables footprint fetching in the DRAM cache: only
+	// the blocks a page used in its previous generation move over the
+	// flash channel, trading occasional underprediction stalls for
+	// bandwidth (the optimization Section II-A cites).
+	FootprintCache bool
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+}
+
+// DefaultOptions returns the scaled Table I machine for the given
+// configuration and workload.
+func DefaultOptions(mode Mode, workloadName string) Options {
+	sys := system.DefaultConfig(system.AstriFlash, workloadName)
+	return Options{
+		Mode:              mode,
+		Workload:          workloadName,
+		Cores:             sys.Cores,
+		DatasetBytes:      sys.Workload.DatasetBytes,
+		CacheFraction:     sys.DRAMCacheFraction,
+		HotAccessFraction: sys.Workload.HotAccessFraction,
+		WriteFraction:     sys.Workload.WriteFraction,
+		SwitchCostNs:      sys.Sched.SwitchCost,
+		PendingLimit:      sys.Sched.PendingLimit,
+		Seed:              sys.Seed,
+	}
+}
+
+// build converts Options into the internal system configuration.
+func (o Options) build() (system.Config, error) {
+	if o.Workload == "" {
+		return system.Config{}, fmt.Errorf("astriflash: no workload selected")
+	}
+	cfg := system.DefaultConfig(o.Mode.internal(), o.Workload)
+	if o.Cores > 0 {
+		cfg.Cores = o.Cores
+	}
+	if o.DatasetBytes > 0 {
+		cfg.Workload.DatasetBytes = o.DatasetBytes
+	}
+	if o.CacheFraction > 0 {
+		cfg.DRAMCacheFraction = o.CacheFraction
+	}
+	if o.HotAccessFraction > 0 {
+		cfg.Workload.HotAccessFraction = o.HotAccessFraction
+	}
+	if o.WriteFraction > 0 {
+		cfg.Workload.WriteFraction = o.WriteFraction
+	}
+	if o.SwitchCostNs > 0 {
+		cfg.Sched.SwitchCost = o.SwitchCostNs
+	}
+	if o.PendingLimit > 0 {
+		cfg.Sched.PendingLimit = o.PendingLimit
+	}
+	if o.FlashReadNs > 0 {
+		cfg.Flash.ReadLatency = o.FlashReadNs
+	}
+	if o.FlashChannels > 0 {
+		cfg.Flash.Channels = o.FlashChannels
+		cfg.FlashFixed = true
+	}
+	if o.FlashBlocksPerPlane > 0 {
+		cfg.Flash.BlocksPerPlane = o.FlashBlocksPerPlane
+	}
+	if o.FlashPagesPerBlock > 0 {
+		cfg.Flash.PagesPerBlock = o.FlashPagesPerBlock
+	}
+	cfg.Flash.LocalGC = o.LocalGC
+	cfg.FootprintCache = o.FootprintCache
+	if o.OSShootdownBatch > 0 {
+		cfg.OSCosts.ShootdownBatch = o.OSShootdownBatch
+	}
+	switch o.CacheReplacement {
+	case "", "lru":
+	case "fifo":
+		cfg.CacheReplacement = dramcache.ReplFIFO
+	case "random":
+		cfg.CacheReplacement = dramcache.ReplRandom
+	default:
+		return system.Config{}, fmt.Errorf("astriflash: unknown replacement policy %q", o.CacheReplacement)
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+		cfg.Workload.Seed = o.Seed
+	}
+	return cfg, nil
+}
+
+// Metrics summarizes one run's measurement window.
+type Metrics struct {
+	Mode     string
+	Workload string
+
+	// SimulatedNs is the measured window of simulated time.
+	SimulatedNs int64
+	// Jobs is the number of requests completed in the window.
+	Jobs uint64
+	// ThroughputJPS is completed requests per simulated second.
+	ThroughputJPS float64
+
+	// Latency percentiles in nanoseconds. Service covers first-schedule
+	// to completion (includes flash waits, excludes queue time); Response
+	// covers arrival to completion.
+	MeanServiceNs, P50ServiceNs, P99ServiceNs int64
+	P50ResponseNs, P99ResponseNs              int64
+	P50QueueNs, P99QueueNs                    int64
+
+	// DRAMCacheMissRatio is misses over DRAM-cache accesses in the
+	// window.
+	DRAMCacheMissRatio float64
+	// MeanMissIntervalNs is the average per-core spacing between DRAM-
+	// cache misses (the paper's 5-25 us calibration target).
+	MeanMissIntervalNs int64
+
+	FlashReads, FlashWrites uint64
+	GCRuns                  uint64
+	GCBlockedFraction       float64
+	ForcedSyncCount         uint64
+}
+
+func fromResult(r system.Result) Metrics {
+	return Metrics{
+		Mode:               r.Mode,
+		Workload:           r.Workload,
+		SimulatedNs:        r.SimulatedNs,
+		Jobs:               r.Jobs,
+		ThroughputJPS:      r.ThroughputJPS,
+		MeanServiceNs:      r.MeanServiceNs,
+		P50ServiceNs:       r.P50ServiceNs,
+		P99ServiceNs:       r.P99ServiceNs,
+		P50ResponseNs:      r.P50RespNs,
+		P99ResponseNs:      r.P99RespNs,
+		P50QueueNs:         r.P50QueueNs,
+		P99QueueNs:         r.P99QueueNs,
+		DRAMCacheMissRatio: r.DRAMCacheMissRatio,
+		MeanMissIntervalNs: r.MeanMissIntervalNs,
+		FlashReads:         r.FlashReads,
+		FlashWrites:        r.FlashWrites,
+		GCRuns:             r.GCRuns,
+		GCBlockedFraction:  r.GCBlockedFraction,
+		ForcedSyncCount:    r.ForcedSyncCount,
+	}
+}
+
+// Machine is one assembled simulated system.
+type Machine struct {
+	sys *system.System
+}
+
+// NewMachine builds the machine (including its workload dataset, which
+// for tree/table workloads means constructing the actual structures).
+func NewMachine(o Options) (*Machine, error) {
+	cfg, err := o.build()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := system.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}
+
+// RunSaturated drives the machine closed-loop at full load — the paper's
+// "large job queue" methodology for maximum throughput (Figure 9) — with
+// inflight requests outstanding per core, for warmupNs of cache warming
+// followed by a measureNs window.
+func (m *Machine) RunSaturated(inflight int, warmupNs, measureNs int64) Metrics {
+	return fromResult(m.sys.RunClosedLoop(inflight, warmupNs, measureNs))
+}
+
+// RunPoisson drives the machine open-loop with Poisson arrivals at the
+// given mean inter-arrival gap (nanoseconds, across the whole machine) —
+// the paper's tail-latency methodology (Figure 10).
+func (m *Machine) RunPoisson(meanGapNs float64, warmupNs, measureNs int64) Metrics {
+	return fromResult(m.sys.RunOpenLoop(meanGapNs, warmupNs, measureNs))
+}
+
+// Run is the one-call convenience: build a machine from Options and run
+// it saturated with defaults sized for a quick, meaningful measurement.
+func Run(o Options) (Metrics, error) {
+	m, err := NewMachine(o)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.RunSaturated(48, 10_000_000, 20_000_000), nil
+}

@@ -1,0 +1,348 @@
+package astriflash
+
+// The benchmark harness regenerates every figure and table in the paper's
+// evaluation section (see DESIGN.md's experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers):
+//
+//	BenchmarkFig1MissRatioSweep  — Fig. 1, miss ratio & flash BW vs capacity
+//	BenchmarkFig2PagingScaling   — Fig. 2, paging vs core count
+//	BenchmarkFig3AnalyticalTail  — Fig. 3, analytical M/M/1 / M/M/k curves
+//	BenchmarkFig9Throughput      — Fig. 9, normalized throughput, all workloads
+//	BenchmarkFig10TailLatency    — Fig. 10, p99 vs load (TATP)
+//	BenchmarkTable2ServiceLatency— Table II, p99 service vs Flash-Sync
+//	BenchmarkGCOverhead          — Sec. VI-D, GC-blocked reads vs device size
+//	BenchmarkAblation*           — design-choice sweeps beyond the paper:
+//	                               switch cost, pending limit, flash latency,
+//	                               footprint fetching, shootdown batching,
+//	                               replacement policy
+//
+// Headline metrics are attached with b.ReportMetric, so `go test -bench .`
+// prints the figures' key numbers next to each benchmark. Full tables go
+// to the log on -v, and cmd/astribench renders them standalone.
+
+import (
+	"math"
+	"testing"
+)
+
+// benchExp sizes experiment runs for the benchmark harness: large enough
+// for stable shapes, small enough that the full suite finishes in
+// minutes.
+func benchExp() ExpConfig {
+	cfg := DefaultExpConfig()
+	cfg.Cores = 8
+	cfg.DatasetBytes = 32 << 20
+	cfg.WarmupNs = 8_000_000
+	cfg.MeasureNs = 16_000_000
+	return cfg
+}
+
+func BenchmarkFig1MissRatioSweep(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig1MissRatioSweep(cfg, "arrayswap", []float64{0.01, 0.02, 0.03, 0.05, 0.08})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.CacheFraction == 0.03 {
+				b.ReportMetric(p.MissRatio*100, "missPct@3%")
+				b.ReportMetric(p.FlashGBpsPerCore, "flashGBps/core@3%")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + RenderFig1(pts))
+		}
+	}
+}
+
+func BenchmarkFig2PagingScaling(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		pts, err := Fig2PagingScaling(cfg, "tatp", []int{2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		osEff := last.PerCoreThroughput["OS-Swap"] / first.PerCoreThroughput["OS-Swap"]
+		afEff := last.PerCoreThroughput["AstriFlash"] / first.PerCoreThroughput["AstriFlash"]
+		b.ReportMetric(osEff, "osSwapEff@16c")
+		b.ReportMetric(afEff, "astriEff@16c")
+		if i == 0 {
+			b.Log("\n" + RenderFig2(pts))
+		}
+	}
+}
+
+func BenchmarkFig3AnalyticalTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := Fig3AnalyticalTail(DefaultFig3Params())
+		for _, c := range curves {
+			switch c.System {
+			case "AstriFlash":
+				b.ReportMetric(c.MaxLoad, "astriMaxLoad")
+			case "OS-Swap":
+				b.ReportMetric(c.MaxLoad, "osSwapMaxLoad")
+			case "Flash-Sync":
+				b.ReportMetric(c.MaxLoad, "flashSyncMaxLoad")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + RenderFig3(curves))
+		}
+	}
+}
+
+func BenchmarkFig9Throughput(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig9Throughput(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Geometric means across workloads, the paper's headline.
+		geo := map[string]float64{}
+		for _, m := range Fig9Modes {
+			geo[m.String()] = 1
+		}
+		for _, r := range rows {
+			for _, m := range Fig9Modes {
+				geo[m.String()] *= r.Normalized[m.String()]
+			}
+		}
+		n := float64(len(rows))
+		b.ReportMetric(nthRoot(geo["AstriFlash"], n), "astriFlash")
+		b.ReportMetric(nthRoot(geo["AstriFlash-Ideal"], n), "astriIdeal")
+		b.ReportMetric(nthRoot(geo["OS-Swap"], n), "osSwap")
+		b.ReportMetric(nthRoot(geo["Flash-Sync"], n), "flashSync")
+		if i == 0 {
+			b.Log("\n" + RenderFig9(rows))
+		}
+	}
+}
+
+func BenchmarkFig10TailLatency(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		curves, err := Fig10TailLatency(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if c.System == "AstriFlash" && len(c.Points) > 0 {
+				b.ReportMetric(c.Points[len(c.Points)-1].P99, "astriP99@93%xSvc")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + RenderFig10(curves))
+		}
+	}
+}
+
+func BenchmarkTable2ServiceLatency(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		rows, err := Table2ServiceLatency(cfg, "tatp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Config {
+			case "AstriFlash":
+				b.ReportMetric(r.Normalized, "astriVsFlashSync")
+			case "AstriFlash-noPS":
+				b.ReportMetric(r.Normalized, "noPSVsFlashSync")
+			case "AstriFlash-noDP":
+				b.ReportMetric(r.Normalized, "noDPVsFlashSync")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + RenderTable2(rows))
+		}
+	}
+}
+
+func BenchmarkGCOverhead(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		pts, err := GCOverheadSweep(cfg, "arrayswap")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			switch p.Label {
+			case "small (256GB-class)":
+				b.ReportMetric(p.BlockedFraction*100, "blockedPctSmall")
+			case "large (1TB-class)":
+				b.ReportMetric(p.BlockedFraction*100, "blockedPctLarge")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + RenderGC(pts))
+		}
+	}
+}
+
+func nthRoot(x, n float64) float64 {
+	if x <= 0 || n <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1/n)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+
+// BenchmarkAblationSwitchCost sweeps the user-level switch cost: the paper
+// argues 100 ns switches (50x faster than context switches) are what make
+// switch-on-miss viable.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		for _, cost := range []int64{100, 1_000, 5_000} {
+			o := cfg.options(AstriFlash, "tatp")
+			o.SwitchCostNs = cost
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			b.ReportMetric(res.ThroughputJPS, "jobs/s@"+itoa(cost)+"ns")
+		}
+	}
+}
+
+// BenchmarkAblationPendingLimit sweeps the pending-queue bound, trading
+// tail latency against forced-synchronous stalls (Section IV-D1).
+func BenchmarkAblationPendingLimit(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		for _, limit := range []int{4, 16, 64} {
+			o := cfg.options(AstriFlash, "tatp")
+			o.PendingLimit = limit
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			b.ReportMetric(float64(res.P99ServiceNs)/1000, "p99us@limit"+itoa(int64(limit)))
+		}
+	}
+}
+
+// BenchmarkAblationFlashLatency sweeps the device read latency: how slow
+// can the backing store get before switch-on-miss stops hiding it?
+func BenchmarkAblationFlashLatency(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		base := 0.0
+		for _, lat := range []int64{10_000, 45_000, 150_000} {
+			o := cfg.options(AstriFlash, "tatp")
+			o.FlashReadNs = lat
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			if base == 0 {
+				base = res.ThroughputJPS
+			}
+			b.ReportMetric(res.ThroughputJPS/base, "rel@"+itoa(lat/1000)+"us")
+		}
+	}
+}
+
+// BenchmarkAblationFootprintCache compares whole-page fetching against
+// the footprint-fetch extension: throughput, and the fraction of page
+// transfer bandwidth saved.
+func BenchmarkAblationFootprintCache(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		var base float64
+		for _, fp := range []bool{false, true} {
+			o := cfg.options(AstriFlash, "tatp")
+			o.FootprintCache = fp
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			if !fp {
+				base = res.ThroughputJPS
+				continue
+			}
+			b.ReportMetric(res.ThroughputJPS/base, "relThroughput")
+			b.ReportMetric(res.DRAMCacheMissRatio*100, "missPct")
+		}
+	}
+}
+
+// BenchmarkAblationShootdownBatching measures how far the paper-cited
+// shootdown batching ([1],[46]) can take OS-Swap: throughput at batch
+// sizes 1 (classic) through 32, against AstriFlash. Batching narrows but
+// does not close the gap — the paper's Section II-C argument.
+func BenchmarkAblationShootdownBatching(b *testing.B) {
+	cfg := benchExp()
+	cfg.Cores = 16 // the scaling pain point
+	for i := 0; i < b.N; i++ {
+		for _, batch := range []int{1, 8, 32} {
+			o := cfg.options(OSSwap, "tatp")
+			o.OSShootdownBatch = batch
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			b.ReportMetric(res.ThroughputJPS, "jobs/s@batch"+itoa(int64(batch)))
+		}
+		o := cfg.options(AstriFlash, "tatp")
+		m, err := NewMachine(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+		b.ReportMetric(res.ThroughputJPS, "jobs/s@astriflash")
+	}
+}
+
+// BenchmarkAblationReplacementPolicy compares DRAM-cache victim policies:
+// LRU (default BC microcode), FIFO, and random — miss ratio and
+// throughput under the standard skewed workload.
+func BenchmarkAblationReplacementPolicy(b *testing.B) {
+	cfg := benchExp()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []string{"lru", "fifo", "random"} {
+			o := cfg.options(AstriFlash, "tatp")
+			o.CacheReplacement = pol
+			m, err := NewMachine(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+			b.ReportMetric(res.ThroughputJPS, "jobs/s@"+pol)
+			b.ReportMetric(res.DRAMCacheMissRatio*100, "missPct@"+pol)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

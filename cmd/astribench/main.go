@@ -1,0 +1,151 @@
+// Command astribench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	astribench                 # run every experiment
+//	astribench -exp fig9       # one experiment
+//	astribench -exp fig9,table2 -cores 16 -dataset 64
+//
+// Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc.
+// Each prints the same rows/series the paper reports; EXPERIMENTS.md
+// records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"astriflash"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy)")
+		cores     = flag.Int("cores", 8, "simulated cores")
+		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
+		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
+		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		plot      = flag.Bool("plot", false, "render fig3/fig10 as ASCII charts too")
+	)
+	flag.Parse()
+
+	cfg := astriflash.DefaultExpConfig()
+	cfg.Cores = *cores
+	cfg.DatasetBytes = *datasetMB << 20
+	cfg.MeasureNs = *measureMs * 1_000_000
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		selected[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := selected["all"]
+	want := func(name string) bool { return all || selected[name] }
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (string, error) {
+			return astriflash.RenderTable1(cfg), nil
+		}},
+		{"fig1", func() (string, error) {
+			pts, err := astriflash.Fig1MissRatioSweep(cfg, "arrayswap", nil)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderFig1(pts), nil
+		}},
+		{"fig2", func() (string, error) {
+			pts, err := astriflash.Fig2PagingScaling(cfg, "tatp", nil)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderFig2(pts), nil
+		}},
+		{"fig3", func() (string, error) {
+			curves := astriflash.Fig3AnalyticalTail(astriflash.DefaultFig3Params())
+			out := astriflash.RenderFig3(curves)
+			if *plot {
+				out += "\n" + astriflash.PlotFig3(curves)
+			}
+			return out, nil
+		}},
+		{"fig9", func() (string, error) {
+			rows, err := astriflash.Fig9Throughput(cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderFig9(rows), nil
+		}},
+		{"fig10", func() (string, error) {
+			curves, err := astriflash.Fig10TailLatency(cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			out := astriflash.RenderFig10(curves)
+			if *plot {
+				out += "\n" + astriflash.PlotFig10(curves)
+			}
+			return out, nil
+		}},
+		{"table2", func() (string, error) {
+			rows, err := astriflash.Table2ServiceLatency(cfg, "tatp")
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderTable2(rows), nil
+		}},
+		{"gc", func() (string, error) {
+			pts, err := astriflash.GCOverheadSweep(cfg, "arrayswap")
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderGC(pts), nil
+		}},
+		{"anatomy", func() (string, error) {
+			rows, err := astriflash.Anatomy(cfg, "tatp", nil)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderAnatomy(rows), nil
+		}},
+	}
+
+	known := map[string]bool{"all": true}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for name := range selected {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want(e.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", e.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+}

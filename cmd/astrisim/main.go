@@ -1,0 +1,99 @@
+// Command astrisim runs one AstriFlash system configuration against one
+// workload and prints the measured metrics.
+//
+// Usage:
+//
+//	astrisim -mode astriflash -workload tatp -cores 16 -dataset 32 -measure 20
+//
+// Modes: dram-only, astriflash, astriflash-ideal, astriflash-nops,
+// astriflash-nodp, os-swap, flash-sync. Workloads: arrayswap, rbt,
+// hashtable, tatp, tpcc, silo, masstree. Open-loop mode (-rate) switches
+// from saturated closed-loop measurement to Poisson arrivals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"astriflash"
+)
+
+var modeNames = map[string]astriflash.Mode{
+	"dram-only":        astriflash.DRAMOnly,
+	"astriflash":       astriflash.AstriFlash,
+	"astriflash-ideal": astriflash.AstriFlashIdeal,
+	"astriflash-nops":  astriflash.AstriFlashNoPS,
+	"astriflash-nodp":  astriflash.AstriFlashNoDP,
+	"os-swap":          astriflash.OSSwap,
+	"flash-sync":       astriflash.FlashSync,
+}
+
+func main() {
+	var (
+		modeFlag  = flag.String("mode", "astriflash", "system configuration")
+		wlFlag    = flag.String("workload", "tatp", "workload name")
+		cores     = flag.Int("cores", 16, "simulated cores")
+		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
+		cacheFrac = flag.Float64("cache", 0.03, "DRAM cache fraction of dataset")
+		inflight  = flag.Int("inflight", 48, "closed-loop jobs outstanding per core")
+		warmupMs  = flag.Int64("warmup", 10, "warmup in simulated ms")
+		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in jobs/s (0 = saturated closed loop)")
+		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	)
+	flag.Parse()
+
+	mode, ok := modeNames[strings.ToLower(*modeFlag)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q; one of:", *modeFlag)
+		for name := range modeNames {
+			fmt.Fprintf(os.Stderr, " %s", name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	opts := astriflash.DefaultOptions(mode, *wlFlag)
+	opts.Cores = *cores
+	opts.DatasetBytes = *datasetMB << 20
+	opts.CacheFraction = *cacheFrac
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	machine, err := astriflash.NewMachine(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	warm := *warmupMs * 1_000_000
+	meas := *measureMs * 1_000_000
+	var res astriflash.Metrics
+	if *rate > 0 {
+		res = machine.RunPoisson(1e9 / *rate, warm, meas)
+	} else {
+		res = machine.RunSaturated(*inflight, warm, meas)
+	}
+
+	fmt.Printf("configuration     %s\n", res.Mode)
+	fmt.Printf("workload          %s\n", res.Workload)
+	fmt.Printf("simulated window  %d ms\n", res.SimulatedNs/1_000_000)
+	fmt.Printf("jobs completed    %d\n", res.Jobs)
+	fmt.Printf("throughput        %.0f jobs/s\n", res.ThroughputJPS)
+	fmt.Printf("service latency   mean %.1f us, p50 %.1f us, p99 %.1f us\n",
+		float64(res.MeanServiceNs)/1000, float64(res.P50ServiceNs)/1000, float64(res.P99ServiceNs)/1000)
+	fmt.Printf("response latency  p50 %.1f us, p99 %.1f us\n",
+		float64(res.P50ResponseNs)/1000, float64(res.P99ResponseNs)/1000)
+	fmt.Printf("queueing          p50 %.1f us, p99 %.1f us\n",
+		float64(res.P50QueueNs)/1000, float64(res.P99QueueNs)/1000)
+	fmt.Printf("DRAM-cache misses %.2f%% of accesses, one per %.1f us per core\n",
+		res.DRAMCacheMissRatio*100, float64(res.MeanMissIntervalNs)/1000)
+	fmt.Printf("flash             %d reads, %d writes, %d GC runs (%.2f%% reads blocked)\n",
+		res.FlashReads, res.FlashWrites, res.GCRuns, res.GCBlockedFraction*100)
+	if res.ForcedSyncCount > 0 {
+		fmt.Printf("forced sync       %d forward-progress completions\n", res.ForcedSyncCount)
+	}
+}

@@ -1,0 +1,111 @@
+// Command astritrace captures and analyzes workload memory-access traces:
+// the raw material behind every claim in the paper. It prints the trace's
+// skew, the exact fully-associative LRU miss-ratio curve (Figure 1's
+// analytical counterpart via Mattson stack distances), and the hottest
+// pages; traces can be saved for replay through the simulator.
+//
+// Usage:
+//
+//	astritrace -workload tatp -jobs 2000
+//	astritrace -workload silo -jobs 5000 -out silo.trace
+//	astritrace -in silo.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/stats"
+	"astriflash/internal/trace"
+	"astriflash/internal/workload"
+)
+
+func main() {
+	var (
+		wlFlag    = flag.String("workload", "tatp", "workload to capture")
+		jobs      = flag.Int("jobs", 2000, "jobs to capture")
+		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
+		outFile   = flag.String("out", "", "save the captured trace to this file")
+		inFile    = flag.String("in", "", "analyze an existing trace file instead of capturing")
+		top       = flag.Int("top", 10, "hottest pages to list")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *inFile != "":
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s\n", *inFile)
+	default:
+		cfg := workload.DefaultConfig()
+		cfg.DatasetBytes = *datasetMB << 20
+		w, err := workload.New(*wlFlag, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tr = trace.Capture(w, *jobs)
+		fmt.Printf("captured %d jobs of %s\n", *jobs, *wlFlag)
+	}
+
+	s := trace.Summarize(tr)
+	fmt.Printf("\n%s\n", s)
+	fmt.Printf("mean compute per access: %.0f ns\n\n", s.MeanComputeNs)
+
+	// Figure-1-style miss curve around the 3% rule.
+	dsPages := uint64(*datasetMB) << 20 / mem.PageSize
+	sweep := []uint64{}
+	for _, frac := range []float64{0.005, 0.01, 0.02, 0.03, 0.05, 0.08} {
+		c := uint64(frac * float64(dsPages))
+		if c == 0 {
+			c = 1
+		}
+		sweep = append(sweep, c)
+	}
+	curve := trace.MissCurve(tr, sweep)
+	tbl := stats.Table{Header: []string{"LRU capacity (pages)", "% of dataset", "miss ratio"}}
+	for _, c := range sweep {
+		tbl.AddRow(
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.1f%%", float64(c)/float64(dsPages)*100),
+			fmt.Sprintf("%.2f%%", curve[c]*100),
+		)
+	}
+	fmt.Println("exact LRU miss-ratio curve (Mattson stack distances):")
+	fmt.Println(tbl.String())
+
+	fmt.Printf("hottest %d pages:\n", *top)
+	for _, pc := range trace.HottestPages(tr, *top) {
+		fmt.Printf("  page %-8d %d accesses\n", pc.Page, pc.Count)
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*outFile)
+		fmt.Printf("\nwrote %s (%d bytes, %.1f bits/access)\n",
+			*outFile, st.Size(), float64(st.Size()*8)/float64(len(tr.Records)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// capacityplan answers the provisioning question of the paper's Section
+// II-A (Figure 1): how much DRAM cache does a flash-resident dataset
+// need, and how much flash bandwidth must back it? It sweeps the
+// DRAM-to-dataset ratio, finds the knee where extra DRAM stops paying,
+// and applies the paper's Equation (1) to size the SSDs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astriflash"
+)
+
+func main() {
+	cfg := astriflash.DefaultExpConfig()
+	cfg.Cores = 8
+
+	fractions := []float64{0.005, 0.01, 0.02, 0.03, 0.05, 0.08}
+	points, err := astriflash.Fig1MissRatioSweep(cfg, "arrayswap", fractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(astriflash.RenderFig1(points))
+
+	// Find the knee: the first capacity whose incremental miss-ratio
+	// improvement per added DRAM drops below 10% of the first step's.
+	firstGain := points[0].MissRatio - points[1].MissRatio
+	knee := points[len(points)-1]
+	for i := 1; i < len(points)-1; i++ {
+		gain := points[i].MissRatio - points[i+1].MissRatio
+		if gain < firstGain*0.1 {
+			knee = points[i]
+			break
+		}
+	}
+	fmt.Printf("knee: ~%.0f%% DRAM capacity (miss ratio %.2f%%)\n",
+		knee.CacheFraction*100, knee.MissRatio*100)
+
+	// Equation (1) at datacenter scale: 64 cores at the measured per-core
+	// flash bandwidth.
+	const cores = 64
+	total := knee.FlashGBpsPerCore * cores
+	fmt.Printf("flash bandwidth for a %d-core server at the knee: %.1f GB/s\n", cores, total)
+	const pcieGen5 = 128.0
+	fmt.Printf("PCIe Gen5 budget: %.0f GB/s -> %.0f%% utilized; ", pcieGen5, total/pcieGen5*100)
+	if total <= pcieGen5 {
+		fmt.Println("feasible with commodity SSDs (the paper's conclusion)")
+	} else {
+		fmt.Println("needs more lanes or a bigger DRAM cache")
+	}
+}

@@ -1,0 +1,72 @@
+// threadlib demonstrates the user-level threading library as a library:
+// cooperative worker threads parking on asynchronous storage reads and
+// overlapping each other's waits — the programming model AstriFlash's
+// hardware triggers automatically on DRAM-cache misses (paper Section
+// IV-D), here driven explicitly through Await.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"astriflash/internal/uthread"
+)
+
+// slowStore models a flash device: reads complete asynchronously after a
+// fixed latency.
+type slowStore struct {
+	latency time.Duration
+	reads   atomic.Int64
+}
+
+func (s *slowStore) read(key int, deliver func(value int)) {
+	s.reads.Add(1)
+	go func() {
+		time.Sleep(s.latency)
+		deliver(key * 10)
+	}()
+}
+
+func main() {
+	store := &slowStore{latency: 20 * time.Millisecond}
+	rt := uthread.NewRuntime(uthread.DefaultConfig())
+
+	const workers = 16
+	results := make([]int, workers)
+	start := time.Now()
+
+	for i := 0; i < workers; i++ {
+		i := i
+		rt.Go(func(c *uthread.Ctx) {
+			// Each worker does two dependent "storage" reads. Await parks
+			// the thread; the scheduler runs other workers meanwhile.
+			var v1 int
+			c.Await(func(complete func()) {
+				store.read(i, func(v int) { v1 = v; complete() })
+			})
+			var v2 int
+			c.Await(func(complete func()) {
+				store.read(v1, func(v int) { v2 = v; complete() })
+			})
+			results[i] = v2
+		})
+	}
+	rt.Run()
+	elapsed := time.Since(start)
+
+	for i, r := range results {
+		if r != i*100 {
+			panic(fmt.Sprintf("worker %d computed %d", i, r))
+		}
+	}
+	serial := time.Duration(workers*2) * store.latency
+	fmt.Printf("%d workers x 2 dependent 20ms reads each\n", workers)
+	fmt.Printf("  serial execution would take %v\n", serial)
+	fmt.Printf("  cooperative threads took    %v (%.0fx speedup)\n",
+		elapsed.Round(time.Millisecond), float64(serial)/float64(elapsed))
+	fmt.Printf("  thread switches: %d, device reads: %d\n",
+		rt.Scheduler().SwitchCount.Value(), store.reads.Load())
+	fmt.Println("\nthe same overlap, triggered by hardware on DRAM-cache misses,")
+	fmt.Println("is how AstriFlash hides 50 us flash reads behind useful work.")
+}

@@ -1,0 +1,115 @@
+package astriflash
+
+import (
+	"fmt"
+
+	"astriflash/internal/queueing"
+	"astriflash/internal/stats"
+)
+
+// Fig3Curve is one system's analytical tail-latency curve (Figure 3):
+// 99th-percentile response latency, normalized to the DRAM-only system's
+// mean service time, against load normalized to DRAM-only saturation.
+type Fig3Curve struct {
+	System  string
+	MaxLoad float64
+	Servers int
+	Points  []Fig3Point
+}
+
+// Fig3Point is one load point.
+type Fig3Point struct {
+	Load    float64
+	Latency float64
+}
+
+// Fig3Params mirror the paper's Section III-A assumptions: every Service
+// nanoseconds of execution triggers one Flash-nanosecond access; OS-Swap
+// pays OSOverhead per access, AstriFlash pays SwitchOverhead.
+type Fig3Params struct {
+	ServiceNs        int64
+	FlashNs          int64
+	OSOverheadNs     int64
+	SwitchOverheadNs int64
+	Percentile       float64
+	Points           int
+}
+
+// DefaultFig3Params returns the paper's numbers: 10 us service, 50 us
+// flash, 10 us OS overhead, ~0.2 us switch overhead, 99th percentile.
+func DefaultFig3Params() Fig3Params {
+	return Fig3Params{
+		ServiceNs:        10_000,
+		FlashNs:          50_000,
+		OSOverheadNs:     10_000,
+		SwitchOverheadNs: 200,
+		Percentile:       99,
+		Points:           15,
+	}
+}
+
+// Fig3AnalyticalTail computes the four curves of Figure 3 from the M/M/1
+// and M/M/k models: DRAM-only and Flash-Sync run to completion on the
+// physical server (M/M/1); AstriFlash and OS-Swap free the server during
+// flash waits, behaving as k logical servers (M/M/k).
+func Fig3AnalyticalTail(p Fig3Params) []Fig3Curve {
+	qp := queueing.Fig3Params{
+		Service:        float64(p.ServiceNs),
+		Flash:          float64(p.FlashNs),
+		OSOverhead:     float64(p.OSOverheadNs),
+		SwitchOverhead: float64(p.SwitchOverheadNs),
+	}
+	var out []Fig3Curve
+	for _, c := range qp.Curves(p.Percentile, p.Points) {
+		fc := Fig3Curve{System: c.System, MaxLoad: c.MaxLoad, Servers: c.Servers}
+		for _, pt := range c.Points {
+			fc.Points = append(fc.Points, Fig3Point{Load: pt.Load, Latency: pt.Latency})
+		}
+		out = append(out, fc)
+	}
+	return out
+}
+
+// RenderFig3 formats the analytical curves: one block per system with its
+// saturation point and the latency/load series.
+func RenderFig3(curves []Fig3Curve) string {
+	var rows [][]string
+	for _, c := range curves {
+		for i, pt := range c.Points {
+			name := ""
+			if i == 0 {
+				name = fmt.Sprintf("%s (k=%d, max %.2f)", c.System, c.Servers, c.MaxLoad)
+			}
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.3f", pt.Load),
+				fmt.Sprintf("%.1fx", pt.Latency),
+			})
+		}
+	}
+	return renderTable("Figure 3: analytical p99 latency (x mean service) vs normalized load",
+		[]string{"system", "load", "p99 latency"}, rows)
+}
+
+// PlotFig3 renders the analytical curves as an ASCII chart (log-scaled
+// latency axis, as the paper plots it).
+func PlotFig3(curves []Fig3Curve) string {
+	var series []stats.Series
+	for _, c := range curves {
+		s := stats.Series{Name: fmt.Sprintf("%s (k=%d)", c.System, c.Servers)}
+		for _, pt := range c.Points {
+			s.X = append(s.X, pt.Load)
+			s.Y = append(s.Y, pt.Latency)
+		}
+		series = append(series, s)
+	}
+	return stats.Plot{
+		Title:  "Figure 3: p99 latency (x mean service) vs normalized load",
+		XLabel: "load (vs DRAM-only max)",
+		YLabel: "p99 latency",
+		Width:  64,
+		Height: 18,
+		LogY:   true,
+		Series: series,
+	}.Render()
+}

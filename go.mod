@@ -1,0 +1,3 @@
+module astriflash
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package cachehier models the on-chip cache hierarchy between the cores
+// and the DRAM cache: a set-associative LRU last-level cache at 64 B block
+// granularity, MSHR tables for outstanding misses, and the miss-signal
+// propagation path that AstriFlash piggybacks on the DRAM ECC-error
+// interface (paper Section IV-C1): on a DRAM-cache miss every resource
+// allocated to the request is reclaimed and a miss signal travels up to
+// the requesting core.
+package cachehier
+
+import (
+	"fmt"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/stats"
+)
+
+// Cache is a set-associative cache with LRU replacement over uint64 keys
+// (block numbers for data caches, page numbers for TLBs). It tracks only
+// presence and dirtiness; data contents live with the workloads.
+type Cache struct {
+	sets    int
+	ways    int
+	keys    [][]uint64
+	dirty   [][]bool
+	valid   [][]bool
+	lru     [][]uint64 // last-touch stamps
+	stamp   uint64
+	Metrics stats.Ratio
+}
+
+// NewCache returns a cache with the given geometry. Sets must be a power
+// of two.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cachehier: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.keys = make([][]uint64, sets)
+	c.dirty = make([][]bool, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.keys[i] = make([]uint64, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns sets*ways, the number of resident keys.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+func (c *Cache) setOf(key uint64) int {
+	// Multiplicative hashing spreads strided key patterns across sets.
+	h := key * 0x9e3779b97f4a7c15
+	return int(h>>32) & (c.sets - 1)
+}
+
+// Lookup probes for key and updates LRU on a hit. On a write hit the line
+// is marked dirty. It reports whether the key was present.
+func (c *Cache) Lookup(key uint64, write bool) bool {
+	s := c.setOf(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.keys[s][w] == key {
+			c.stamp++
+			c.lru[s][w] = c.stamp
+			if write {
+				c.dirty[s][w] = true
+			}
+			c.Metrics.Hit()
+			return true
+		}
+	}
+	c.Metrics.Miss()
+	return false
+}
+
+// Contains probes without updating LRU or metrics.
+func (c *Cache) Contains(key uint64) bool {
+	s := c.setOf(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.keys[s][w] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes an eviction produced by Insert.
+type Victim struct {
+	Key   uint64
+	Dirty bool
+}
+
+// Insert fills key into its set, evicting the LRU way if the set is full.
+// It returns the victim, if any. Inserting an already-present key only
+// refreshes its LRU state.
+func (c *Cache) Insert(key uint64, dirty bool) (Victim, bool) {
+	s := c.setOf(key)
+	c.stamp++
+	// Refresh if present.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.keys[s][w] == key {
+			c.lru[s][w] = c.stamp
+			c.dirty[s][w] = c.dirty[s][w] || dirty
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[s][w] {
+			c.valid[s][w] = true
+			c.keys[s][w] = key
+			c.dirty[s][w] = dirty
+			c.lru[s][w] = c.stamp
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	lruWay := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[s][w] < c.lru[s][lruWay] {
+			lruWay = w
+		}
+	}
+	v := Victim{Key: c.keys[s][lruWay], Dirty: c.dirty[s][lruWay]}
+	c.keys[s][lruWay] = key
+	c.dirty[s][lruWay] = dirty
+	c.lru[s][lruWay] = c.stamp
+	return v, true
+}
+
+// Invalidate removes key if present (TLB shootdowns, cache-line
+// invalidations on DRAM-cache evictions). It reports whether the key was
+// present.
+func (c *Cache) Invalidate(key uint64) bool {
+	s := c.setOf(key)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.keys[s][w] == key {
+			c.valid[s][w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (full TLB shootdown / context switch).
+func (c *Cache) InvalidateAll() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// Resident returns the number of valid entries.
+func (c *Cache) Resident() int {
+	n := 0
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if c.valid[s][w] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Hierarchy is the per-core on-chip stack: latencies for L1/L2 folded
+// into compute plus an explicit LLC model. A single Access answers with
+// the on-chip latency and whether the request must continue to the DRAM
+// cache.
+type Hierarchy struct {
+	L1Latency  int64 // charged on every access
+	L2Latency  int64 // charged on L1 miss (modeled probabilistically via LLC)
+	LLCLatency int64 // charged on LLC probe
+	LLC        *Cache
+	Mshrs      *MSHRTable
+
+	// WritebackSink receives dirty LLC victims (block keys); the system
+	// layer forwards them to the DRAM cache as writes.
+	WritebackSink func(block uint64)
+}
+
+// HierConfig configures a Hierarchy.
+type HierConfig struct {
+	L1Latency  int64
+	L2Latency  int64
+	LLCLatency int64
+	LLCSets    int
+	LLCWays    int
+	MSHRs      int
+}
+
+// DefaultHierConfig approximates the paper's Table I per-core stack:
+// 1 MB LLC per core (16384 sets x 16 ways of 64 B at 16 cores is scaled
+// down here to keep simulation state small), ~40-cycle LLC at 2.5 GHz.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1Latency:  2,
+		L2Latency:  5,
+		LLCLatency: 16,
+		LLCSets:    1024,
+		LLCWays:    16,
+		MSHRs:      32,
+	}
+}
+
+// NewHierarchy builds the stack.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	return &Hierarchy{
+		L1Latency:  cfg.L1Latency,
+		L2Latency:  cfg.L2Latency,
+		LLCLatency: cfg.LLCLatency,
+		LLC:        NewCache(cfg.LLCSets, cfg.LLCWays),
+		Mshrs:      NewMSHRTable(cfg.MSHRs),
+	}
+}
+
+// AccessResult reports how far into the hierarchy a request had to travel.
+type AccessResult struct {
+	Latency int64 // on-chip portion of the access latency
+	ToDRAM  bool  // true when the request continues to the DRAM cache
+}
+
+// Access probes the on-chip stack for the given address. On an LLC miss
+// the block is NOT yet installed: the caller installs it via Fill once the
+// DRAM cache (or flash) answers, mirroring a real miss path.
+func (h *Hierarchy) Access(a mem.Access) AccessResult {
+	block := mem.BlockOf(a.Addr)
+	if h.LLC.Lookup(block, a.Write) {
+		return AccessResult{Latency: h.L1Latency + h.LLCLatency, ToDRAM: false}
+	}
+	return AccessResult{Latency: h.L1Latency + h.L2Latency + h.LLCLatency, ToDRAM: true}
+}
+
+// Fill installs the block after a lower-level reply, forwarding any dirty
+// victim to the writeback sink.
+func (h *Hierarchy) Fill(a mem.Access) {
+	block := mem.BlockOf(a.Addr)
+	if v, evicted := h.LLC.Insert(block, a.Write); evicted && v.Dirty && h.WritebackSink != nil {
+		h.WritebackSink(v.Key)
+	}
+}
+
+// InvalidatePage drops all blocks of the given page from the LLC, used
+// when the DRAM cache evicts a page (coherence between the DRAM cache
+// and the on-chip hierarchy).
+func (h *Hierarchy) InvalidatePage(p mem.PageNum) int {
+	base := mem.BlockOf(mem.PageBase(p))
+	n := 0
+	for i := uint64(0); i < mem.PageSize/mem.BlockSize; i++ {
+		if h.LLC.Invalidate(base + i) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package cachehier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astriflash/internal/mem"
+)
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Lookup(100, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(100, false)
+	if !c.Lookup(100, false) {
+		t.Fatal("miss after insert")
+	}
+	if c.Metrics.Hits != 1 || c.Metrics.Misses != 1 {
+		t.Fatalf("metrics = %+v", c.Metrics)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2) // one set, two ways: simplest LRU observatory
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.Lookup(1, false) // 1 is now MRU
+	v, evicted := c.Insert(3, false)
+	if !evicted || v.Key != 2 {
+		t.Fatalf("expected LRU victim 2, got %+v evicted=%v", v, evicted)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Fatal("wrong residents after eviction")
+	}
+}
+
+func TestCacheDirtyVictim(t *testing.T) {
+	c := NewCache(1, 1)
+	c.Insert(5, false)
+	c.Lookup(5, true) // write hit marks dirty
+	v, evicted := c.Insert(6, false)
+	if !evicted || !v.Dirty || v.Key != 5 {
+		t.Fatalf("dirty eviction lost: %+v", v)
+	}
+}
+
+func TestCacheReinsertRefreshes(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Insert(1, false)
+	c.Insert(2, false)
+	if _, evicted := c.Insert(1, true); evicted {
+		t.Fatal("reinsert evicted")
+	}
+	// 2 is now LRU.
+	v, evicted := c.Insert(3, false)
+	if !evicted || v.Key != 2 {
+		t.Fatalf("victim = %+v, want key 2", v)
+	}
+	// Dirtiness of refreshed key 1 must persist.
+	v, _ = c.Insert(4, false)
+	if v.Key != 1 || !v.Dirty {
+		t.Fatalf("refresh lost dirty bit: %+v", v)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Insert(9, false)
+	if !c.Invalidate(9) {
+		t.Fatal("invalidate missed resident key")
+	}
+	if c.Invalidate(9) {
+		t.Fatal("invalidate hit absent key")
+	}
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.InvalidateAll()
+	if c.Resident() != 0 {
+		t.Fatalf("resident = %d after InvalidateAll", c.Resident())
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	if err := quick.Check(func(keys []uint16) bool {
+		c := NewCache(8, 2)
+		for _, k := range keys {
+			c.Insert(uint64(k), false)
+		}
+		return c.Resident() <= c.Capacity()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInsertThenContains(t *testing.T) {
+	if err := quick.Check(func(k uint64) bool {
+		c := NewCache(16, 4)
+		c.Insert(k, false)
+		return c.Contains(k)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInvalidGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {1, 0}, {3, 2}} {
+		g := g
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v did not panic", g)
+				}
+			}()
+			NewCache(g[0], g[1])
+		}()
+	}
+}
+
+func TestMSHRAllocateMergeComplete(t *testing.T) {
+	m := NewMSHRTable(2)
+	primary, ok := m.Allocate(10)
+	if !primary || !ok {
+		t.Fatal("first allocation should be primary")
+	}
+	primary, ok = m.Allocate(10)
+	if primary || !ok {
+		t.Fatal("second allocation to same block should merge")
+	}
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", m.Outstanding())
+	}
+	if w := m.Complete(10); w != 2 {
+		t.Fatalf("released %d waiters, want 2", w)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("entry not freed")
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	m := NewMSHRTable(1)
+	m.Allocate(1)
+	if _, ok := m.Allocate(2); ok {
+		t.Fatal("full table accepted a new primary miss")
+	}
+	if m.FullStall.Value() != 1 {
+		t.Fatal("stall not counted")
+	}
+	// Merging into the existing entry still works when full.
+	if _, ok := m.Allocate(1); !ok {
+		t.Fatal("merge rejected on full table")
+	}
+}
+
+func TestMSHRReclaimFreesWithoutFill(t *testing.T) {
+	m := NewMSHRTable(4)
+	m.Allocate(7)
+	m.Allocate(7)
+	if w := m.Reclaim(7); w != 2 {
+		t.Fatalf("reclaim released %d waiters, want 2", w)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("reclaim did not free entry")
+	}
+	if m.Reclaim(7) != 0 {
+		t.Fatal("reclaiming absent block should return 0")
+	}
+}
+
+func TestMSHRCompleteAbsentPanics(t *testing.T) {
+	m := NewMSHRTable(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("completing absent block did not panic")
+		}
+	}()
+	m.Complete(99)
+}
+
+func TestHierarchyAccessAndFill(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	a := mem.Access{Addr: 0x1000}
+	r := h.Access(a)
+	if !r.ToDRAM {
+		t.Fatal("cold access should go to DRAM")
+	}
+	coldLat := r.Latency
+	h.Fill(a)
+	r = h.Access(a)
+	if r.ToDRAM {
+		t.Fatal("filled block should hit on chip")
+	}
+	if r.Latency >= coldLat {
+		t.Fatalf("hit latency %d not below miss path %d", r.Latency, coldLat)
+	}
+}
+
+func TestHierarchyWritebackSink(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.LLCSets, cfg.LLCWays = 1, 1
+	h := NewHierarchy(cfg)
+	var wb []uint64
+	h.WritebackSink = func(b uint64) { wb = append(wb, b) }
+	h.Fill(mem.Access{Addr: 0x40, Write: true}) // dirty
+	h.Fill(mem.Access{Addr: 0x80})              // evicts dirty block 1
+	if len(wb) != 1 || wb[0] != 1 {
+		t.Fatalf("writebacks = %v, want [1]", wb)
+	}
+}
+
+func TestHierarchyInvalidatePage(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	// Fill all 64 blocks of page 3.
+	base := mem.PageBase(3)
+	for i := uint64(0); i < mem.PageSize/mem.BlockSize; i++ {
+		h.Fill(mem.Access{Addr: base + mem.Addr(i*mem.BlockSize)})
+	}
+	n := h.InvalidatePage(3)
+	if n != mem.PageSize/mem.BlockSize {
+		t.Fatalf("invalidated %d blocks, want %d", n, mem.PageSize/mem.BlockSize)
+	}
+	if h.LLC.Contains(mem.BlockOf(base)) {
+		t.Fatal("block still resident after page invalidation")
+	}
+}

@@ -1,0 +1,91 @@
+package cachehier
+
+import (
+	"fmt"
+
+	"astriflash/internal/stats"
+)
+
+// MSHRTable models Miss Status Handling Registers: the small CAM that
+// tracks outstanding misses at each cache level. Entries merge secondary
+// misses to the same block. The table is central to the paper's argument:
+// on-chip MSHRs are scarce (tens), so DRAM-cache misses must not park in
+// them — AstriFlash reclaims the entry and signals the core instead
+// (Section IV-C1), while the DRAM cache tracks the miss in the in-DRAM
+// MSR (Section IV-B2).
+type MSHRTable struct {
+	capacity int
+	entries  map[uint64]*mshrEntry
+
+	Allocs    stats.Counter
+	Merges    stats.Counter
+	FullStall stats.Counter
+	Reclaims  stats.Counter
+}
+
+type mshrEntry struct {
+	block   uint64
+	waiters int
+}
+
+// NewMSHRTable returns a table with the given number of registers.
+func NewMSHRTable(capacity int) *MSHRTable {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cachehier: invalid MSHR capacity %d", capacity))
+	}
+	return &MSHRTable{capacity: capacity, entries: make(map[uint64]*mshrEntry)}
+}
+
+// Capacity returns the number of registers.
+func (t *MSHRTable) Capacity() int { return t.capacity }
+
+// Outstanding returns the number of live entries.
+func (t *MSHRTable) Outstanding() int { return len(t.entries) }
+
+// Full reports whether a new primary miss would stall.
+func (t *MSHRTable) Full() bool { return len(t.entries) >= t.capacity }
+
+// Allocate records a miss for block. It returns (primary, ok): primary is
+// true when this is the first outstanding miss to the block; ok is false
+// when the table is full and the request must stall (counted).
+func (t *MSHRTable) Allocate(block uint64) (primary, ok bool) {
+	if e, exists := t.entries[block]; exists {
+		e.waiters++
+		t.Merges.Inc()
+		return false, true
+	}
+	if t.Full() {
+		t.FullStall.Inc()
+		return false, false
+	}
+	t.entries[block] = &mshrEntry{block: block, waiters: 1}
+	t.Allocs.Inc()
+	return true, true
+}
+
+// Complete releases the entry for block when the fill returns, and
+// reports how many waiters were released. Completing an absent block is a
+// protocol violation and panics.
+func (t *MSHRTable) Complete(block uint64) int {
+	e, exists := t.entries[block]
+	if !exists {
+		panic(fmt.Sprintf("cachehier: completing MSHR for absent block %#x", block))
+	}
+	delete(t.entries, block)
+	return e.waiters
+}
+
+// Reclaim releases the entry for block without a data fill: the
+// miss-signal path (DRAM ECC-style, Section IV-C1) frees all resources so
+// the hierarchy never clogs behind a flash access. It reports the number
+// of waiters that must each receive a miss signal. Reclaiming an absent
+// block is harmless (the signal can race a completion) and returns 0.
+func (t *MSHRTable) Reclaim(block uint64) int {
+	e, exists := t.entries[block]
+	if !exists {
+		return 0
+	}
+	delete(t.entries, block)
+	t.Reclaims.Inc()
+	return e.waiters
+}

@@ -1,0 +1,460 @@
+// Package cpu models the out-of-order core mechanisms AstriFlash needs
+// (paper Section IV-C): a reorder buffer, a post-retirement store buffer,
+// ASO-style register-map tracking that lets committed stores be aborted on
+// a DRAM-cache miss, the Handler Address / Resume architectural registers
+// that redirect execution to the user-level thread scheduler, and the
+// forward-progress bit that forces a resuming access to complete
+// synchronously.
+//
+// The model executes a small RISC-like instruction set over a renamed
+// physical register file so rollback correctness is testable exactly: an
+// abort must restore the architectural register state to the aborted
+// instruction's issue point, bit for bit, and must leave memory untouched
+// by any aborted store.
+package cpu
+
+import (
+	"fmt"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/stats"
+)
+
+// Config sizes the core per the paper's ARM Cortex-A76 assumptions.
+type Config struct {
+	ArchRegs   int // architectural registers (32)
+	PhysRegs   int // physical register file; paper: 128 base + 128 for ASO
+	ROBEntries int // 128
+	SBEntries  int // 32
+	// FlushBase and FlushPerEntry price a pipeline flush in nanoseconds:
+	// redirecting to the handler wastes the in-flight window.
+	FlushBase     int64
+	FlushPerEntry int64
+}
+
+// DefaultConfig matches Section IV-C4's core: 4-wide A76-class.
+func DefaultConfig() Config {
+	return Config{
+		ArchRegs:      32,
+		PhysRegs:      256,
+		ROBEntries:    128,
+		SBEntries:     32,
+		FlushBase:     20,
+		FlushPerEntry: 1,
+	}
+}
+
+// Opcode enumerates the model ISA.
+type Opcode int
+
+// The model ISA: enough to build register dataflow, loads, and stores.
+const (
+	OpConst Opcode = iota // dest <- Imm
+	OpAdd                 // dest <- rs1 + rs2
+	OpLoad                // dest <- Mem[rs1 + Imm]
+	OpStore               // Mem[rs1 + Imm] <- rs2
+)
+
+// Inst is one instruction.
+type Inst struct {
+	Op   Opcode
+	Dest int // architectural destination (OpConst, OpAdd, OpLoad)
+	Rs1  int
+	Rs2  int
+	Imm  uint64
+}
+
+// Memory is the data memory the core loads from and stores to. The
+// simulator provides an implementation backed by the workload arena.
+type Memory interface {
+	ReadWord(a mem.Addr) uint64
+	WriteWord(a mem.Addr, v uint64)
+}
+
+// MapMemory is a simple map-backed Memory for tests and examples.
+type MapMemory map[mem.Addr]uint64
+
+// ReadWord returns the word at a (zero if never written).
+func (m MapMemory) ReadWord(a mem.Addr) uint64 { return m[a] }
+
+// WriteWord stores v at a.
+func (m MapMemory) WriteWord(a mem.Addr, v uint64) { m[a] = v }
+
+// journalEntry records one register-map change for rollback: instruction
+// seq renamed arch -> newPhys, displacing oldPhys.
+type journalEntry struct {
+	seq     uint64
+	arch    int
+	oldPhys int
+	newPhys int
+}
+
+type robEntry struct {
+	pc   uint64
+	seq  uint64
+	inst Inst
+	// Store address and data are captured at issue; younger renames of
+	// the source registers must not change what the store writes.
+	storeAddr mem.Addr
+	storeData uint64
+}
+
+// SBEntry is a retired-but-incomplete store (visible for tests and the
+// system layer's miss targeting).
+type SBEntry struct {
+	PC   uint64
+	Seq  uint64
+	Addr mem.Addr
+	Data uint64
+}
+
+// Core is one OoO core.
+type Core struct {
+	cfg Config
+	mem Memory
+
+	rat      []int // arch -> phys
+	prf      []uint64
+	freeList []int
+	journal  []journalEntry
+	seq      uint64
+
+	rob []robEntry
+	sb  []SBEntry
+
+	pc uint64
+
+	// Architectural support for switch-on-miss (Section IV-C2).
+	handlerAddr     uint64
+	handlerValid    bool
+	resumePC        uint64
+	forwardProgress bool
+
+	Flushes     stats.Counter
+	StoreAborts stats.Counter
+	LoadAborts  stats.Counter
+	Retired     stats.Counter
+}
+
+// New returns a core with all architectural registers holding zero.
+func New(cfg Config, m Memory) *Core {
+	if cfg.PhysRegs < cfg.ArchRegs+1 {
+		panic(fmt.Sprintf("cpu: %d physical registers cannot back %d architectural", cfg.PhysRegs, cfg.ArchRegs))
+	}
+	c := &Core{cfg: cfg, mem: m}
+	c.rat = make([]int, cfg.ArchRegs)
+	c.prf = make([]uint64, cfg.PhysRegs)
+	for i := 0; i < cfg.ArchRegs; i++ {
+		c.rat[i] = i
+	}
+	for p := cfg.ArchRegs; p < cfg.PhysRegs; p++ {
+		c.freeList = append(c.freeList, p)
+	}
+	return c
+}
+
+// PC returns the current program counter.
+func (c *Core) PC() uint64 { return c.pc }
+
+// SetPC sets the program counter (test setup / thread context install).
+func (c *Core) SetPC(pc uint64) { c.pc = pc }
+
+// Reg returns the architectural value of register r.
+func (c *Core) Reg(r int) uint64 { return c.prf[c.rat[r]] }
+
+// ArchState snapshots all architectural register values. The user-level
+// thread library saves this to the thread stack when descheduling
+// (Section IV-D1).
+func (c *Core) ArchState() []uint64 {
+	out := make([]uint64, c.cfg.ArchRegs)
+	for i := range out {
+		out[i] = c.Reg(i)
+	}
+	return out
+}
+
+// SetReg writes an architectural register (thread-context restore).
+func (c *Core) SetReg(r int, v uint64) { c.prf[c.rat[r]] = v }
+
+// RestoreArchState installs a saved register file, the thread library's
+// context-switch restore path. It panics on a size mismatch.
+func (c *Core) RestoreArchState(regs []uint64) {
+	if len(regs) != c.cfg.ArchRegs {
+		panic(fmt.Sprintf("cpu: restoring %d registers into %d-register file", len(regs), c.cfg.ArchRegs))
+	}
+	for i, v := range regs {
+		c.SetReg(i, v)
+	}
+}
+
+// ROBOccupancy returns the number of in-flight (unretired) instructions.
+func (c *Core) ROBOccupancy() int { return len(c.rob) }
+
+// SBOccupancy returns the number of retired, incomplete stores.
+func (c *Core) SBOccupancy() int { return len(c.sb) }
+
+// SBEntry returns the store-buffer entry at index i (0 = oldest); the
+// memory system inspects it to decide whether the pending store's page is
+// resident.
+func (c *Core) SBEntry(i int) SBEntry {
+	if i < 0 || i >= len(c.sb) {
+		panic(fmt.Sprintf("cpu: SBEntry index %d with %d entries", i, len(c.sb)))
+	}
+	return c.sb[i]
+}
+
+// JournalLen exposes the rollback-tracking footprint; the paper budgets
+// ~4 extra physical registers per SB store (Section IV-C4).
+func (c *Core) JournalLen() int { return len(c.journal) }
+
+// allocPhys takes a register from the free list.
+func (c *Core) allocPhys() int {
+	if len(c.freeList) == 0 {
+		panic("cpu: physical register file exhausted; retire or drain stores")
+	}
+	p := c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	return p
+}
+
+// rename points arch at a fresh physical register and journals the change.
+func (c *Core) rename(arch int) int {
+	p := c.allocPhys()
+	c.journal = append(c.journal, journalEntry{seq: c.seq, arch: arch, oldPhys: c.rat[arch], newPhys: p})
+	c.rat[arch] = p
+	return p
+}
+
+// Issue executes one instruction speculatively: it renames, computes the
+// value, and appends to the ROB. Issue fails (returns false) when the ROB
+// or, for stores, the downstream SB pressure should stall the front end.
+func (c *Core) Issue(inst Inst) bool {
+	if len(c.rob) >= c.cfg.ROBEntries {
+		return false
+	}
+	c.seq++
+	var sAddr mem.Addr
+	var sData uint64
+	switch inst.Op {
+	case OpConst:
+		p := c.rename(inst.Dest)
+		c.prf[p] = inst.Imm
+	case OpAdd:
+		v := c.prf[c.rat[inst.Rs1]] + c.prf[c.rat[inst.Rs2]]
+		p := c.rename(inst.Dest)
+		c.prf[p] = v
+	case OpLoad:
+		addr := mem.Addr(c.prf[c.rat[inst.Rs1]] + inst.Imm)
+		v := c.mem.ReadWord(addr)
+		p := c.rename(inst.Dest)
+		c.prf[p] = v
+	case OpStore:
+		// Value and address are captured at issue; the write reaches
+		// memory only when the store drains from the SB.
+		sAddr = mem.Addr(c.prf[c.rat[inst.Rs1]] + inst.Imm)
+		sData = c.prf[c.rat[inst.Rs2]]
+	default:
+		panic(fmt.Sprintf("cpu: unknown opcode %d", inst.Op))
+	}
+	c.rob = append(c.rob, robEntry{pc: c.pc, seq: c.seq, inst: inst, storeAddr: sAddr, storeData: sData})
+	c.pc++
+	return true
+}
+
+// Retire commits the oldest ROB entry. Retired stores move to the SB
+// (post-retirement speculation: their register mappings stay journaled
+// until the store completes). Retire reports false when the ROB is empty
+// or a store cannot move because the SB is full.
+func (c *Core) Retire() bool {
+	if len(c.rob) == 0 {
+		return false
+	}
+	e := c.rob[0]
+	if e.inst.Op == OpStore {
+		if len(c.sb) >= c.cfg.SBEntries {
+			return false
+		}
+		c.sb = append(c.sb, SBEntry{PC: e.pc, Seq: e.seq, Addr: e.storeAddr, Data: e.storeData})
+	}
+	c.rob = c.rob[1:]
+	c.Retired.Inc()
+	c.trimJournal()
+	return true
+}
+
+// RetireAll retires as far as possible.
+func (c *Core) RetireAll() {
+	for c.Retire() {
+	}
+}
+
+// oldestSpeculativeSeq returns the lowest seq still needing rollback
+// coverage: the oldest SB entry or the oldest unretired instruction.
+func (c *Core) oldestSpeculativeSeq() uint64 {
+	low := c.seq + 1
+	if len(c.sb) > 0 && c.sb[0].Seq < low {
+		low = c.sb[0].Seq
+	}
+	if len(c.rob) > 0 && c.rob[0].seq < low {
+		low = c.rob[0].seq
+	}
+	return low
+}
+
+// trimJournal releases map entries no abort can ever need: those older
+// than every SB entry and every unretired instruction. Their displaced
+// physical registers return to the free list — the ASO rule that a
+// store's mappings free only when it leaves the SB.
+func (c *Core) trimJournal() {
+	low := c.oldestSpeculativeSeq()
+	i := 0
+	for ; i < len(c.journal) && c.journal[i].seq < low; i++ {
+		c.freeList = append(c.freeList, c.journal[i].oldPhys)
+	}
+	c.journal = c.journal[i:]
+}
+
+// DrainStore completes the oldest SB store, writing memory. It reports
+// false when the SB is empty.
+func (c *Core) DrainStore() bool {
+	if len(c.sb) == 0 {
+		return false
+	}
+	s := c.sb[0]
+	c.mem.WriteWord(s.Addr, s.Data)
+	c.sb = c.sb[1:]
+	c.trimJournal()
+	return true
+}
+
+// DrainAllStores completes every pending store in order.
+func (c *Core) DrainAllStores() {
+	for c.DrainStore() {
+	}
+}
+
+// rollbackTo undoes every journaled rename with seq >= target, restoring
+// the register map to the state at which the target instruction issued.
+func (c *Core) rollbackTo(target uint64) {
+	for len(c.journal) > 0 {
+		e := c.journal[len(c.journal)-1]
+		if e.seq < target {
+			break
+		}
+		c.rat[e.arch] = e.oldPhys
+		c.freeList = append(c.freeList, e.newPhys)
+		c.journal = c.journal[:len(c.journal)-1]
+	}
+}
+
+// FlushCost prices a full pipeline flush at the current occupancy.
+func (c *Core) FlushCost() int64 {
+	return c.cfg.FlushBase + int64(len(c.rob))*c.cfg.FlushPerEntry
+}
+
+// AbortStore handles a DRAM-cache miss signal for the SB entry at index
+// idx (0 = oldest): the store and everything younger — including all
+// unretired ROB contents — are discarded, the register map is restored to
+// the store's issue point, the resume register captures the store's PC,
+// and control transfers to the user-level handler. It returns the pipeline
+// flush cost in nanoseconds. Section IV-C4.
+func (c *Core) AbortStore(idx int) int64 {
+	if idx < 0 || idx >= len(c.sb) {
+		panic(fmt.Sprintf("cpu: AbortStore index %d with %d SB entries", idx, len(c.sb)))
+	}
+	s := c.sb[idx]
+	cost := c.FlushCost()
+	c.rollbackTo(s.Seq)
+	c.sb = c.sb[:idx]
+	c.rob = c.rob[:0]
+	c.StoreAborts.Inc()
+	c.takeMissTrap(s.PC)
+	return cost
+}
+
+// AbortLoadAt handles a DRAM-cache miss signal for the unretired ROB
+// instruction at index idx (0 = oldest): it and everything younger are
+// squashed. It returns the flush cost.
+func (c *Core) AbortLoadAt(idx int) int64 {
+	if idx < 0 || idx >= len(c.rob) {
+		panic(fmt.Sprintf("cpu: AbortLoadAt index %d with %d ROB entries", idx, len(c.rob)))
+	}
+	e := c.rob[idx]
+	cost := c.FlushCost()
+	c.rollbackTo(e.seq)
+	c.rob = c.rob[:idx]
+	c.LoadAborts.Inc()
+	c.takeMissTrap(e.pc)
+	return cost
+}
+
+// InstallHandler installs the user-level scheduler entry point. The
+// register is privileged (Section IV-C2): the OS validates the address at
+// install time; the model enforces non-zero.
+func (c *Core) InstallHandler(addr uint64) error {
+	if addr == 0 {
+		return fmt.Errorf("cpu: handler address must be non-zero")
+	}
+	c.handlerAddr = addr
+	c.handlerValid = true
+	return nil
+}
+
+// HandlerInstalled reports whether a handler is registered.
+func (c *Core) HandlerInstalled() bool { return c.handlerValid }
+
+// takeMissTrap saves the faulting PC in the resume register and redirects
+// to the handler. Without a handler the trap cannot be delivered, which
+// in hardware would be a fatal machine state; the model panics.
+func (c *Core) takeMissTrap(pc uint64) {
+	if !c.handlerValid {
+		panic("cpu: DRAM-cache miss signal with no handler installed")
+	}
+	c.resumePC = pc
+	c.pc = c.handlerAddr
+	c.Flushes.Inc()
+}
+
+// ResumePC returns the resume register's saved PC (user readable).
+func (c *Core) ResumePC() uint64 { return c.resumePC }
+
+// SetResume writes the resume register (user writable): the scheduler
+// stores the PC of the instruction to resume and, when forcing forward
+// progress, sets the bit that makes the next access complete
+// synchronously (Section IV-C3).
+func (c *Core) SetResume(pc uint64, forceProgress bool) {
+	c.resumePC = pc
+	c.forwardProgress = forceProgress
+}
+
+// ForwardProgress reports whether the forward-progress bit is set.
+func (c *Core) ForwardProgress() bool { return c.forwardProgress }
+
+// ClearForwardProgress unsets the bit; hardware does this when the forced
+// instruction retires.
+func (c *Core) ClearForwardProgress() { c.forwardProgress = false }
+
+// Resume jumps back to the resume register's PC.
+func (c *Core) Resume() { c.pc = c.resumePC }
+
+// CheckInvariants validates internal consistency: no physical register is
+// both mapped and free, and every arch register maps to a valid phys reg.
+// It returns a description of the first violation, or "".
+func (c *Core) CheckInvariants() string {
+	inUse := make(map[int]bool)
+	for a, p := range c.rat {
+		if p < 0 || p >= c.cfg.PhysRegs {
+			return fmt.Sprintf("arch %d maps to invalid phys %d", a, p)
+		}
+		inUse[p] = true
+	}
+	for _, e := range c.journal {
+		inUse[e.oldPhys] = true
+	}
+	for _, p := range c.freeList {
+		if inUse[p] {
+			return fmt.Sprintf("phys %d is both free and referenced", p)
+		}
+	}
+	return ""
+}

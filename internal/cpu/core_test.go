@@ -1,0 +1,366 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+)
+
+func newCore() (*Core, MapMemory) {
+	m := MapMemory{}
+	c := New(DefaultConfig(), m)
+	if err := c.InstallHandler(0xdead0000); err != nil {
+		panic(err)
+	}
+	return c, m
+}
+
+func TestBasicDataflow(t *testing.T) {
+	c, m := newCore()
+	m[0x100] = 7
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x100})
+	c.Issue(Inst{Op: OpLoad, Dest: 2, Rs1: 1})        // r2 = Mem[0x100] = 7
+	c.Issue(Inst{Op: OpAdd, Dest: 3, Rs1: 2, Rs2: 2}) // r3 = 14
+	c.RetireAll()
+	if c.Reg(3) != 14 {
+		t.Fatalf("r3 = %d, want 14", c.Reg(3))
+	}
+}
+
+func TestStoreReachesMemoryOnlyOnDrain(t *testing.T) {
+	c, m := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x200}) // addr
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 99})    // data
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2})
+	c.RetireAll()
+	if c.SBOccupancy() != 1 {
+		t.Fatalf("SB occupancy = %d, want 1", c.SBOccupancy())
+	}
+	if m[0x200] != 0 {
+		t.Fatal("store reached memory before draining")
+	}
+	c.DrainAllStores()
+	if m[0x200] != 99 {
+		t.Fatalf("memory = %d after drain, want 99", m[0x200])
+	}
+}
+
+func TestStoreCapturesValueAtIssue(t *testing.T) {
+	c, m := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x300})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 5})
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2})
+	// Overwrite r2 after the store issued but before it retires/drains.
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 1234})
+	c.RetireAll()
+	c.DrainAllStores()
+	if m[0x300] != 5 {
+		t.Fatalf("store wrote %d, want the at-issue value 5", m[0x300])
+	}
+}
+
+func TestAbortStoreRestoresRegistersExactly(t *testing.T) {
+	c, m := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x400})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 42})
+	c.RetireAll()
+	snapshot := c.ArchState()
+
+	// The store that will miss, then younger speculative work that
+	// clobbers registers.
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2})
+	c.RetireAll() // store is now post-retirement, in the SB
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 777})
+	c.Issue(Inst{Op: OpAdd, Dest: 3, Rs1: 2, Rs2: 2})
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0xabc})
+
+	cost := c.AbortStore(0)
+	if cost <= 0 {
+		t.Fatal("abort should charge a flush cost")
+	}
+	after := c.ArchState()
+	for i := range snapshot {
+		if snapshot[i] != after[i] {
+			t.Fatalf("r%d = %d after abort, want %d", i, after[i], snapshot[i])
+		}
+	}
+	if m[0x400] != 0 {
+		t.Fatal("aborted store leaked to memory")
+	}
+	if c.SBOccupancy() != 0 || c.ROBOccupancy() != 0 {
+		t.Fatal("abort left speculative state behind")
+	}
+	if c.PC() != 0xdead0000 {
+		t.Fatalf("PC = %#x, want handler", c.PC())
+	}
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestAbortStoreKeepsOlderStores(t *testing.T) {
+	c, m := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x500})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 1})
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2}) // older store, will survive
+	c.Issue(Inst{Op: OpConst, Dest: 3, Imm: 0x600})
+	c.Issue(Inst{Op: OpStore, Rs1: 3, Rs2: 2}) // younger store, will miss
+	c.RetireAll()
+	if c.SBOccupancy() != 2 {
+		t.Fatalf("SB = %d, want 2", c.SBOccupancy())
+	}
+	c.AbortStore(1)
+	if c.SBOccupancy() != 1 {
+		t.Fatalf("SB = %d after abort, want 1 (older store)", c.SBOccupancy())
+	}
+	c.DrainAllStores()
+	if m[0x500] != 1 {
+		t.Fatal("older store lost by younger abort")
+	}
+	if m[0x600] != 0 {
+		t.Fatal("aborted store leaked")
+	}
+}
+
+func TestAbortLoadSquashesYounger(t *testing.T) {
+	c, _ := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 5})
+	c.RetireAll()
+	want := c.ArchState()
+	c.Issue(Inst{Op: OpLoad, Dest: 2, Rs1: 1}) // will miss
+	c.Issue(Inst{Op: OpAdd, Dest: 1, Rs1: 2, Rs2: 2})
+	resumePC := c.PC() - 2
+	c.AbortLoadAt(0)
+	got := c.ArchState()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("r%d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if c.ResumePC() != resumePC {
+		t.Fatalf("resume PC = %d, want %d", c.ResumePC(), resumePC)
+	}
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestResumeRegisterAndForwardProgress(t *testing.T) {
+	c, _ := newCore()
+	c.SetResume(0x1234, true)
+	if !c.ForwardProgress() {
+		t.Fatal("forward-progress bit not set")
+	}
+	c.Resume()
+	if c.PC() != 0x1234 {
+		t.Fatalf("PC = %#x after resume, want 0x1234", c.PC())
+	}
+	c.ClearForwardProgress()
+	if c.ForwardProgress() {
+		t.Fatal("forward-progress bit not cleared")
+	}
+}
+
+func TestHandlerInstallValidation(t *testing.T) {
+	c := New(DefaultConfig(), MapMemory{})
+	if err := c.InstallHandler(0); err == nil {
+		t.Fatal("zero handler address accepted")
+	}
+	if c.HandlerInstalled() {
+		t.Fatal("handler marked installed after rejection")
+	}
+	if err := c.InstallHandler(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HandlerInstalled() {
+		t.Fatal("handler not marked installed")
+	}
+}
+
+func TestMissTrapWithoutHandlerPanics(t *testing.T) {
+	c := New(DefaultConfig(), MapMemory{})
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x10})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 1})
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2})
+	c.RetireAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("miss trap without handler did not panic")
+		}
+	}()
+	c.AbortStore(0)
+}
+
+func TestROBCapacityStallsIssue(t *testing.T) {
+	c, _ := newCore()
+	for i := 0; i < DefaultConfig().ROBEntries; i++ {
+		if !c.Issue(Inst{Op: OpConst, Dest: 1, Imm: uint64(i)}) {
+			t.Fatalf("issue %d rejected below capacity", i)
+		}
+	}
+	if c.Issue(Inst{Op: OpConst, Dest: 1}) {
+		t.Fatal("issue accepted beyond ROB capacity")
+	}
+	c.Retire()
+	if !c.Issue(Inst{Op: OpConst, Dest: 1}) {
+		t.Fatal("issue rejected after retire freed space")
+	}
+}
+
+func TestSBCapacityBlocksRetire(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SBEntries = 2
+	c := New(cfg, MapMemory{})
+	c.InstallHandler(1)
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x10})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 9})
+	for i := 0; i < 3; i++ {
+		c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2, Imm: uint64(i * 8)})
+	}
+	c.RetireAll()
+	if c.SBOccupancy() != 2 {
+		t.Fatalf("SB = %d, want 2 (full)", c.SBOccupancy())
+	}
+	if c.ROBOccupancy() != 1 {
+		t.Fatalf("ROB = %d, want 1 (blocked store)", c.ROBOccupancy())
+	}
+	c.DrainStore()
+	c.RetireAll()
+	if c.ROBOccupancy() != 0 {
+		t.Fatal("blocked store did not retire after drain")
+	}
+}
+
+func TestFlushCostGrowsWithOccupancy(t *testing.T) {
+	c, _ := newCore()
+	empty := c.FlushCost()
+	for i := 0; i < 50; i++ {
+		c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 1})
+	}
+	if c.FlushCost() <= empty {
+		t.Fatal("flush cost did not grow with ROB occupancy")
+	}
+}
+
+func TestJournalTrimsAfterDrain(t *testing.T) {
+	c, _ := newCore()
+	c.Issue(Inst{Op: OpConst, Dest: 1, Imm: 0x10})
+	c.Issue(Inst{Op: OpConst, Dest: 2, Imm: 1})
+	c.Issue(Inst{Op: OpStore, Rs1: 1, Rs2: 2})
+	for i := 0; i < 4; i++ {
+		c.Issue(Inst{Op: OpConst, Dest: 3, Imm: uint64(i)})
+	}
+	c.RetireAll()
+	if c.JournalLen() == 0 {
+		t.Fatal("journal empty while store is in SB")
+	}
+	c.DrainAllStores()
+	if c.JournalLen() != 0 {
+		t.Fatalf("journal = %d entries after drain, want 0", c.JournalLen())
+	}
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestPhysRegsRecycleUnderSustainedLoad(t *testing.T) {
+	c, _ := newCore()
+	// Far more renames than physical registers: without journal
+	// trimming this would exhaust the PRF.
+	for i := 0; i < 10000; i++ {
+		if !c.Issue(Inst{Op: OpConst, Dest: i % 8, Imm: uint64(i)}) {
+			c.RetireAll()
+			i--
+			continue
+		}
+		if i%64 == 0 {
+			c.RetireAll()
+		}
+	}
+	c.RetireAll()
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestAbortRandomProgramsProperty drives random programs, aborts a random
+// store, and verifies that register state equals a reference execution
+// that stopped right before the aborted store issued.
+func TestAbortRandomProgramsProperty(t *testing.T) {
+	run := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		progLen := 10 + rng.Intn(40)
+		var prog []Inst
+		for i := 0; i < progLen; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				prog = append(prog, Inst{Op: OpConst, Dest: rng.Intn(8), Imm: rng.Uint64() % 1000})
+			case 1:
+				prog = append(prog, Inst{Op: OpAdd, Dest: rng.Intn(8), Rs1: rng.Intn(8), Rs2: rng.Intn(8)})
+			case 2:
+				prog = append(prog, Inst{Op: OpLoad, Dest: rng.Intn(8), Rs1: rng.Intn(8), Imm: uint64(rng.Intn(64) * 8)})
+			default:
+				prog = append(prog, Inst{Op: OpStore, Rs1: rng.Intn(8), Rs2: rng.Intn(8), Imm: uint64(rng.Intn(64) * 8)})
+			}
+		}
+		// Pick a store to abort.
+		abortAt := -1
+		for i, in := range prog {
+			if in.Op == OpStore {
+				abortAt = i
+			}
+		}
+		if abortAt < 0 {
+			return true // no store in this program
+		}
+
+		// Reference: execute the prefix before the aborted store, drain.
+		refMem := MapMemory{}
+		ref := New(DefaultConfig(), refMem)
+		ref.InstallHandler(1)
+		for _, in := range prog[:abortAt] {
+			ref.Issue(in)
+			ref.RetireAll()
+			ref.DrainAllStores()
+		}
+		want := ref.ArchState()
+
+		// Subject: execute the whole program, retire everything, keep the
+		// aborted store (and younger state) in flight, then abort it.
+		subjMem := MapMemory{}
+		subj := New(DefaultConfig(), subjMem)
+		subj.InstallHandler(1)
+		for i, in := range prog {
+			subj.Issue(in)
+			if i < abortAt {
+				subj.RetireAll()
+				subj.DrainAllStores()
+			}
+		}
+		subj.RetireAll() // aborted store moves to the SB, younger may too
+		if subj.SBOccupancy() == 0 {
+			return true // store blocked by SB capacity; nothing to abort
+		}
+		subj.AbortStore(0)
+		got := subj.ArchState()
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return subj.CheckInvariants() == ""
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAddrTypesUsable(t *testing.T) {
+	m := MapMemory{}
+	m.WriteWord(mem.Addr(0x40), 11)
+	if m.ReadWord(0x40) != 11 {
+		t.Fatal("MapMemory round trip failed")
+	}
+}

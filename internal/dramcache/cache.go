@@ -1,0 +1,589 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"astriflash/internal/dram"
+	"astriflash/internal/flash"
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+	"astriflash/internal/stats"
+)
+
+// Replacement selects the victim policy. The paper replaces OS page
+// replacement with hardware "cache eviction policies" (Section III-B2);
+// the choice is a BC microcode knob since BC is programmable.
+type Replacement int
+
+// Victim policies.
+const (
+	// ReplLRU evicts the least recently used page (default).
+	ReplLRU Replacement = iota
+	// ReplFIFO evicts the oldest-installed page regardless of reuse.
+	ReplFIFO
+	// ReplRandom evicts a deterministic pseudo-random way.
+	ReplRandom
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case ReplLRU:
+		return "lru"
+	case ReplFIFO:
+		return "fifo"
+	case ReplRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config sizes the DRAM cache.
+type Config struct {
+	Pages uint64 // capacity in 4 KB pages (paper: 3% of the dataset)
+	Ways  int    // set associativity; one 64 B tag column maps 8 ways
+
+	// Replacement is the victim policy (default LRU).
+	Replacement Replacement
+
+	MSRSets int // miss-status row sets (x8 ways each)
+	MSRWays int
+
+	EvictBufferPages int // staging space for victims awaiting writeback
+
+	FCOpNs int64 // frontside controller per-operation cost (FSM, ~1 cycle)
+	BCOpNs int64 // backside controller per-operation cost (programmable, ~3 cycles)
+}
+
+// DefaultConfig returns a scaled cache; capacity is set by the system
+// layer from the dataset size and the 3% rule.
+func DefaultConfig(pages uint64) Config {
+	cfg := Config{
+		Pages:            pages,
+		Ways:             8,
+		MSRSets:          64,
+		MSRWays:          8,
+		EvictBufferPages: 16,
+		FCOpNs:           1,
+		BCOpNs:           3,
+	}
+	// Scaled-down caches need enough sets to avoid conflict thrashing
+	// that the paper's 2M-set cache never sees; widen ways only as far
+	// as two tag columns allow.
+	if pages <= 1<<16 {
+		cfg.Ways = 16
+	}
+	if pages%uint64(cfg.Ways) != 0 {
+		cfg.Ways = 8
+	}
+	return cfg
+}
+
+type line struct {
+	page      mem.PageNum
+	valid     bool
+	dirty     bool
+	lru       uint64 // last-touch stamp
+	installed uint64 // install stamp (FIFO policy)
+}
+
+// Result is FC's reply to a data request.
+type Result struct {
+	Hit bool
+	At  sim.Time // completion time of the reply (hit data or miss signal)
+}
+
+// Cache is the hardware-managed DRAM cache with its two controllers.
+type Cache struct {
+	cfg   Config
+	eng   *sim.Engine
+	dram  *dram.Device
+	flash *flash.Device
+
+	sets     [][]line
+	nsets    int
+	stamp    uint64
+	msr      *MSR
+	msrRow   dram.Loc
+	evictBuf int // pages currently staged for writeback
+
+	// waiters maps a missing page to the callbacks to fire on arrival.
+	waiters map[mem.PageNum][]func(at sim.Time)
+	// pinned holds reference counts for pages that must not be evicted:
+	// the OS pins a faulted-in page until the faulting task has used it.
+	pinned map[mem.PageNum]int
+	// msrWait queues misses that found their MSR set full.
+	msrWait []mem.PageNum
+	// fp is the optional footprint-fetch extension (footprint.go).
+	fp *footprintState
+	// fpPending marks resident pages with an in-flight secondary fetch
+	// for underpredicted blocks.
+	fpPending map[mem.PageNum]bool
+	// fpFirst remembers the faulting address per in-flight miss so the
+	// footprint install can center its default window on it.
+	fpFirst map[mem.PageNum]mem.Addr
+
+	// OnEvict, if set, is called when a page leaves the DRAM cache so the
+	// system can invalidate on-chip copies (coherence with the LLCs).
+	OnEvict func(p mem.PageNum)
+
+	Accesses   stats.Ratio
+	Evictions  stats.Counter
+	DirtyWB    stats.Counter
+	Installs   stats.Counter
+	MergedMiss stats.Counter
+	HitLat     *stats.Histogram
+	MissLat    *stats.Histogram // miss-signal turnaround, not the flash wait
+	RefillLat  *stats.Histogram // request to page-installed
+}
+
+// New builds the cache over the given DRAM and flash devices.
+func New(eng *sim.Engine, cfg Config, dev *dram.Device, fl *flash.Device) *Cache {
+	if cfg.Pages == 0 || cfg.Ways <= 0 || cfg.Pages%uint64(cfg.Ways) != 0 {
+		panic(fmt.Sprintf("dramcache: capacity %d pages not divisible into %d ways", cfg.Pages, cfg.Ways))
+	}
+	nsets := int(cfg.Pages / uint64(cfg.Ways))
+	c := &Cache{
+		cfg:       cfg,
+		eng:       eng,
+		dram:      dev,
+		flash:     fl,
+		nsets:     nsets,
+		msr:       NewMSR(cfg.MSRSets, cfg.MSRWays),
+		msrRow:    dev.RowOf(nsets), // the row after the last set
+		waiters:   make(map[mem.PageNum][]func(at sim.Time)),
+		pinned:    make(map[mem.PageNum]int),
+		fpPending: make(map[mem.PageNum]bool),
+		fpFirst:   make(map[mem.PageNum]mem.Addr),
+		HitLat:    stats.NewHistogram(),
+		MissLat:   stats.NewHistogram(),
+		RefillLat: stats.NewHistogram(),
+	}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.nsets }
+
+// CapacityPages returns the configured capacity.
+func (c *Cache) CapacityPages() uint64 { return c.cfg.Pages }
+
+// MSRTable exposes the miss status row for inspection.
+func (c *Cache) MSRTable() *MSR { return c.msr }
+
+func (c *Cache) setOf(p mem.PageNum) int {
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	return int(h>>32) % c.nsets
+}
+
+// Contains reports whether page p is resident (no timing, no LRU update).
+func (c *Cache) Contains(p mem.PageNum) bool {
+	for _, l := range c.sets[c.setOf(p)] {
+		if l.valid && l.page == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Resident returns the number of valid pages.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, s := range c.sets {
+		for _, l := range s {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Preload installs page p without timing, for warm-start experiments.
+func (c *Cache) Preload(p mem.PageNum) {
+	if c.Contains(p) {
+		return
+	}
+	s := c.sets[c.setOf(p)]
+	c.stamp++
+	for w := range s {
+		if !s[w].valid {
+			s[w] = line{page: p, valid: true, lru: c.stamp, installed: c.stamp}
+			return
+		}
+	}
+	// Evict silently during preload.
+	w := c.pickVictim(s, false)
+	s[w] = line{page: p, valid: true, lru: c.stamp, installed: c.stamp}
+}
+
+// Access is the FC entry point (Section IV-B1): one data request from the
+// on-chip hierarchy. FC opens the set's row, reads the tag column, and on
+// a hit transfers the requested 64 B block; on a miss it hands the page to
+// BC and sends a miss reply. done is called with the outcome at the time
+// the reply reaches the requester.
+func (c *Cache) Access(a mem.Access, done func(Result)) {
+	now := c.eng.Now()
+	p := a.Page()
+	setIdx := c.setOf(p)
+	row := c.dram.RowOf(setIdx)
+
+	// RAS + CAS for the tag column.
+	tagDone := c.dram.Access(now, row, 1)
+	replyAt := tagDone + c.cfg.FCOpNs
+
+	s := c.sets[setIdx]
+	for w := range s {
+		if s[w].valid && s[w].page == p {
+			if c.fp != nil && !c.fp.fpOnAccess(p, a.Addr) {
+				// Footprint underprediction: the page is resident but
+				// this block was not fetched. Signal a miss and fetch
+				// the block from flash (Section II-A's bandwidth/
+				// latency trade).
+				c.Accesses.Miss()
+				missAt := replyAt + c.cfg.FCOpNs
+				c.MissLat.Record(missAt - now)
+				c.fetchUnderpredicted(p, missAt)
+				c.eng.At(missAt, func() { done(Result{Hit: false, At: missAt}) })
+				return
+			}
+			// Hit: a further CAS fetches the requested block.
+			c.stamp++
+			s[w].lru = c.stamp
+			if a.Write {
+				s[w].dirty = true
+			}
+			dataDone := c.dram.Access(tagDone, row, 1)
+			at := dataDone + c.cfg.FCOpNs
+			c.Accesses.Hit()
+			c.HitLat.Record(at - now)
+			c.eng.At(at, func() { done(Result{Hit: true, At: at}) })
+			return
+		}
+	}
+
+	// Miss: notify BC, then send the miss reply to the requester
+	// (Section IV-C1's ECC-style signal).
+	c.Accesses.Miss()
+	missAt := replyAt + c.cfg.FCOpNs
+	c.MissLat.Record(missAt - now)
+	if c.fp != nil {
+		if _, ok := c.fpFirst[p]; !ok {
+			c.fpFirst[p] = a.Addr
+		}
+	}
+	c.handleMiss(p, a.Write, missAt)
+	c.eng.At(missAt, func() { done(Result{Hit: false, At: missAt}) })
+}
+
+// Pin increments page p's pin count: pinned pages are skipped during
+// victim selection, modeling the OS page reference a fault path holds
+// until the faulting task consumes the page.
+func (c *Cache) Pin(p mem.PageNum) { c.pinned[p]++ }
+
+// Unpin releases one pin on p.
+func (c *Cache) Unpin(p mem.PageNum) {
+	if c.pinned[p] <= 1 {
+		delete(c.pinned, p)
+		return
+	}
+	c.pinned[p]--
+}
+
+// Pinned returns the number of distinct pinned pages.
+func (c *Cache) Pinned() int { return len(c.pinned) }
+
+// Touch refreshes page p's recency without timing: the system layer
+// calls it on on-chip hits so the replacement policy sees real reuse.
+// At paper scale (2M sets) hot pages are never LRU victims even though
+// the DRAM cache itself only observes LLC misses; a scaled-down cache
+// must preserve that property explicitly or super-hot pages whose
+// traffic the LLC absorbs would churn through flash.
+func (c *Cache) Touch(p mem.PageNum) {
+	s := c.sets[c.setOf(p)]
+	for w := range s {
+		if s[w].valid && s[w].page == p {
+			c.stamp++
+			s[w].lru = c.stamp
+			return
+		}
+	}
+}
+
+// MarkDirty marks page p dirty if resident (LLC writeback absorption);
+// absent pages are ignored — the rare writeback racing an eviction is
+// forwarded straight to flash by the system layer. It reports residency.
+func (c *Cache) MarkDirty(p mem.PageNum) bool {
+	s := c.sets[c.setOf(p)]
+	for w := range s {
+		if s[w].valid && s[w].page == p {
+			s[w].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// AccessAlwaysHit prices a hit-path access (tag probe plus data transfer)
+// regardless of contents: the DRAM-only baseline, where the whole dataset
+// is DRAM-resident.
+func (c *Cache) AccessAlwaysHit(a mem.Access, done func(Result)) {
+	now := c.eng.Now()
+	setIdx := c.setOf(a.Page())
+	row := c.dram.RowOf(setIdx)
+	tagDone := c.dram.Access(now, row, 1)
+	dataDone := c.dram.Access(tagDone, row, 1)
+	at := dataDone + c.cfg.FCOpNs
+	c.Accesses.Hit()
+	c.HitLat.Record(at - now)
+	c.eng.At(at, func() { done(Result{Hit: true, At: at}) })
+}
+
+// OnPageReady registers cb to fire when page p is installed (or, under
+// footprint fetching, when its pending secondary block fetch completes).
+// If the page is fully ready the callback fires on the next event
+// boundary.
+func (c *Cache) OnPageReady(p mem.PageNum, cb func(at sim.Time)) {
+	if c.Contains(p) && !c.fpPending[p] {
+		at := c.eng.Now()
+		c.eng.At(at, func() { cb(at) })
+		return
+	}
+	c.waiters[p] = append(c.waiters[p], cb)
+}
+
+// fetchUnderpredicted brings an unfetched block of a resident page in
+// from flash and wakes waiters when it lands.
+func (c *Cache) fetchUnderpredicted(p mem.PageNum, at sim.Time) {
+	if c.fpPending[p] {
+		return // a secondary fetch is already in flight
+	}
+	c.fpPending[p] = true
+	c.eng.At(at, func() {
+		c.flash.Read(p, func(arrive sim.Time) {
+			row := c.dram.RowOf(c.setOf(p))
+			wrDone := c.dram.Access(arrive, row, 1) + c.cfg.BCOpNs
+			delete(c.fpPending, p)
+			cbs := c.waiters[p]
+			delete(c.waiters, p)
+			c.eng.At(wrDone, func() {
+				for _, cb := range cbs {
+					cb(wrDone)
+				}
+			})
+		})
+	})
+}
+
+// handleMiss is the BC path (Section IV-B2): probe the MSR for a
+// duplicate, allocate an entry, fetch the page from flash, stage the
+// victim, and install on arrival.
+func (c *Cache) handleMiss(p mem.PageNum, write bool, at sim.Time) {
+	// One CAS to probe the MSR row plus BC occupancy.
+	probeDone := c.dram.Access(at, c.msrRow, 1) + c.cfg.BCOpNs
+
+	switch c.msr.Allocate(p) {
+	case AllocDup:
+		// A fetch is already in flight; this requester will be woken by
+		// the same install.
+		c.MergedMiss.Inc()
+		return
+	case AllocFull:
+		// No free entry: BC waits for pending requests to drain and
+		// retries; the miss is queued in arrival order.
+		c.msrWait = append(c.msrWait, p)
+		return
+	case AllocNew:
+	}
+	c.launchFetch(p, probeDone)
+}
+
+// launchFetch issues the flash read and prepares the victim.
+func (c *Cache) launchFetch(p mem.PageNum, at sim.Time) {
+	start := at
+	reqTime := c.eng.Now()
+	c.eng.At(start, func() {
+		// Victim selection and copy to the evict buffer proceed during
+		// the flash access (off the critical path, Section IV-B2).
+		c.prepareVictim(p)
+		c.flash.Read(p, func(arrive sim.Time) {
+			c.install(p, arrive, reqTime)
+		})
+	})
+}
+
+// prepareVictim ensures the set has a free way by staging the LRU page in
+// the evict buffer and, if dirty, writing it back to flash.
+func (c *Cache) prepareVictim(p mem.PageNum) {
+	s := c.sets[c.setOf(p)]
+	for w := range s {
+		if !s[w].valid {
+			return // free way exists
+		}
+	}
+	lru := c.pickVictim(s, true)
+	if lru < 0 {
+		// Every way is pinned; fall back ignoring pins (the OS would
+		// block the allocation, but a scaled cache cannot).
+		lru = c.pickVictim(s, false)
+	}
+	victim := s[lru]
+	if c.fp != nil {
+		c.fp.fpOnEvict(victim.page)
+	}
+	// Read the victim page out of the DRAM row into the evict buffer.
+	row := c.dram.RowOf(c.setOf(p))
+	c.dram.Access(c.eng.Now(), row, dram.BlocksPerPage)
+	s[lru].valid = false
+	c.Evictions.Inc()
+	c.evictBuf++
+	if c.OnEvict != nil {
+		c.OnEvict(victim.page)
+	}
+	if victim.dirty {
+		c.DirtyWB.Inc()
+		c.flash.Write(victim.page, func(sim.Time) { c.evictBuf-- })
+	} else {
+		c.evictBuf--
+	}
+}
+
+// pickVictim selects the victim way under the configured policy,
+// skipping pinned pages when honorPins is set. It returns -1 when every
+// candidate is pinned.
+func (c *Cache) pickVictim(s []line, honorPins bool) int {
+	keyOf := func(w int) uint64 {
+		switch c.cfg.Replacement {
+		case ReplFIFO:
+			return s[w].installed
+		case ReplRandom:
+			// Deterministic hash of page and stamp: stable within a
+			// decision, varying across decisions.
+			return (uint64(s[w].page) ^ c.stamp) * 0x9e3779b97f4a7c15
+		default:
+			return s[w].lru
+		}
+	}
+	best := -1
+	var bestKey uint64
+	for w := range s {
+		if honorPins && c.pinned[s[w].page] > 0 {
+			continue
+		}
+		k := keyOf(w)
+		if best < 0 || k < bestKey {
+			best, bestKey = w, k
+		}
+	}
+	return best
+}
+
+// install writes the arrived page into its set, completes the MSR entry,
+// wakes waiters, and admits any miss that was stalled on a full MSR set.
+func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
+	setIdx := c.setOf(p)
+	row := c.dram.RowOf(setIdx)
+	// Page write into the row: RAS + block bursts, plus tag update. With
+	// footprint fetching only the predicted blocks transfer.
+	blocks := dram.BlocksPerPage
+	if c.fp != nil {
+		first, ok := c.fpFirst[p]
+		if !ok {
+			first = mem.PageBase(p)
+		}
+		delete(c.fpFirst, p)
+		blocks = c.fp.fpOnInstall(p, first)
+	}
+	wrDone := c.dram.Access(at, row, blocks+1) + c.cfg.BCOpNs
+
+	s := c.sets[setIdx]
+	c.stamp++
+	installed := false
+	for w := range s {
+		if !s[w].valid {
+			s[w] = line{page: p, valid: true, lru: c.stamp, installed: c.stamp}
+			installed = true
+			break
+		}
+	}
+	if !installed {
+		// The set filled up again between victim prep and arrival
+		// (competing installs); evict again, synchronously this time.
+		c.prepareVictim(p)
+		for w := range s {
+			if !s[w].valid {
+				s[w] = line{page: p, valid: true, lru: c.stamp, installed: c.stamp}
+				installed = true
+				break
+			}
+		}
+	}
+	if !installed {
+		panic("dramcache: no way free after eviction")
+	}
+	c.Installs.Inc()
+	c.msr.Complete(p)
+	c.RefillLat.Record(wrDone - reqTime)
+
+	cbs := c.waiters[p]
+	delete(c.waiters, p)
+	c.eng.At(wrDone, func() {
+		for _, cb := range cbs {
+			cb(wrDone)
+		}
+	})
+
+	// Admit one stalled miss now that an MSR entry is free.
+	c.drainMSRWait(wrDone)
+}
+
+// drainMSRWait retries queued misses that previously found their MSR set
+// full. Entries whose set is still full stay queued.
+func (c *Cache) drainMSRWait(at sim.Time) {
+	var rest []mem.PageNum
+	for i, p := range c.msrWait {
+		switch c.msr.Allocate(p) {
+		case AllocNew:
+			c.launchFetch(p, at)
+		case AllocDup:
+			c.MergedMiss.Inc()
+		case AllocFull:
+			rest = append(rest, c.msrWait[i])
+		}
+	}
+	c.msrWait = rest
+}
+
+// PendingMisses returns the number of in-flight fetches plus queued
+// misses, for saturation diagnostics.
+func (c *Cache) PendingMisses() int { return c.msr.Outstanding() + len(c.msrWait) }
+
+// CheckInvariants validates that no page is resident twice and every
+// waiter page is actually missing. It returns "" when consistent.
+func (c *Cache) CheckInvariants() string {
+	seen := make(map[mem.PageNum]bool)
+	for si, s := range c.sets {
+		for _, l := range s {
+			if !l.valid {
+				continue
+			}
+			if seen[l.page] {
+				return fmt.Sprintf("page %d resident twice", l.page)
+			}
+			if c.setOf(l.page) != si {
+				return fmt.Sprintf("page %d in wrong set %d", l.page, si)
+			}
+			seen[l.page] = true
+		}
+	}
+	for p := range c.waiters {
+		if seen[p] && !c.msr.Lookup(p) {
+			return fmt.Sprintf("waiters registered for resident page %d", p)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,117 @@
+// Package dramcache implements the paper's hardware-managed DRAM cache
+// (Sections III-B2 and IV-B): a set-associative page-granularity cache
+// whose sets are DRAM rows with tags stored in-row, a frontside controller
+// (FC) that makes hit/miss decisions, and a backside controller (BC) that
+// talks to flash, manages evictions through an evict buffer, and tracks
+// hundreds of concurrent misses in an in-DRAM Miss Status Row (MSR)
+// instead of CAM-based MSHRs.
+package dramcache
+
+import (
+	"fmt"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/stats"
+)
+
+// MSR is the Miss Status Row: a set-associative miss-tracking structure
+// held in a dedicated DRAM row. Each entry is 8 B (a page address plus
+// metadata), retrieved with a single CAS, so lookups are one DRAM column
+// access instead of a CAM probe (Section IV-B2).
+type MSR struct {
+	sets    int
+	ways    int
+	entries []map[mem.PageNum]bool
+
+	Allocs    stats.Counter
+	Dups      stats.Counter
+	FullWaits stats.Counter
+}
+
+// NewMSR returns an MSR with the given geometry. A 64 B CAS fetches 8
+// entries, so ways is naturally 8; sets scale with the number of
+// concurrent misses to track.
+func NewMSR(sets, ways int) *MSR {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("dramcache: invalid MSR geometry %dx%d", sets, ways))
+	}
+	m := &MSR{sets: sets, ways: ways, entries: make([]map[mem.PageNum]bool, sets)}
+	for i := range m.entries {
+		m.entries[i] = make(map[mem.PageNum]bool, ways)
+	}
+	return m
+}
+
+// Capacity returns the total number of trackable misses.
+func (m *MSR) Capacity() int { return m.sets * m.ways }
+
+// Outstanding returns the number of in-flight tracked misses.
+func (m *MSR) Outstanding() int {
+	n := 0
+	for _, s := range m.entries {
+		n += len(s)
+	}
+	return n
+}
+
+func (m *MSR) setOf(p mem.PageNum) int {
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	return int(h>>33) % m.sets
+}
+
+// Lookup reports whether a miss for page p is already pending.
+func (m *MSR) Lookup(p mem.PageNum) bool { return m.entries[m.setOf(p)][p] }
+
+// Allocate records a pending miss for p. It returns:
+//
+//	AllocNew  — entry created, caller must fetch from flash;
+//	AllocDup  — a fetch is already pending, caller discards the request;
+//	AllocFull — the set has no free entries, caller must wait for a
+//	            pending flash request to complete (Section IV-B2).
+func (m *MSR) Allocate(p mem.PageNum) AllocResult {
+	s := m.entries[m.setOf(p)]
+	if s[p] {
+		m.Dups.Inc()
+		return AllocDup
+	}
+	if len(s) >= m.ways {
+		m.FullWaits.Inc()
+		return AllocFull
+	}
+	s[p] = true
+	m.Allocs.Inc()
+	return AllocNew
+}
+
+// Complete removes the entry for p when its page arrives. Completing an
+// untracked page is a protocol violation and panics.
+func (m *MSR) Complete(p mem.PageNum) {
+	s := m.entries[m.setOf(p)]
+	if !s[p] {
+		panic(fmt.Sprintf("dramcache: MSR completing untracked page %d", p))
+	}
+	delete(s, p)
+}
+
+// AllocResult is the outcome of an MSR allocation attempt.
+type AllocResult int
+
+// Allocation outcomes.
+const (
+	AllocNew AllocResult = iota
+	AllocDup
+	AllocFull
+)
+
+func (r AllocResult) String() string {
+	switch r {
+	case AllocNew:
+		return "new"
+	case AllocDup:
+		return "dup"
+	case AllocFull:
+		return "full"
+	default:
+		return fmt.Sprintf("AllocResult(%d)", int(r))
+	}
+}

@@ -1,0 +1,101 @@
+// Package loadgen provides the request-arrival machinery for tail-latency
+// experiments: Poisson (bursty) and deterministic arrival processes, and
+// per-request latency accounting that separates queueing time from
+// service time the way the paper's methodology does (Section V-A: service
+// time includes the flash wait but not job-queue time).
+package loadgen
+
+import (
+	"fmt"
+
+	"astriflash/internal/sim"
+	"astriflash/internal/stats"
+)
+
+// Arrivals produces successive inter-arrival gaps in nanoseconds.
+type Arrivals interface {
+	NextGap() int64
+}
+
+// Poisson models bursty request arrival: exponential gaps with the given
+// mean (Section VI-C uses a Poisson process for the tail study).
+type Poisson struct {
+	rng  *sim.RNG
+	mean float64
+}
+
+// NewPoisson returns a Poisson process with mean inter-arrival meanNs.
+func NewPoisson(rng *sim.RNG, meanNs float64) *Poisson {
+	if meanNs <= 0 {
+		panic(fmt.Sprintf("loadgen: mean inter-arrival %v must be positive", meanNs))
+	}
+	return &Poisson{rng: rng, mean: meanNs}
+}
+
+// NextGap draws the next exponential gap (at least 1 ns so time advances).
+func (p *Poisson) NextGap() int64 {
+	g := int64(p.rng.Exp(p.mean))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Uniform produces fixed gaps, for closed-form cross-checks.
+type Uniform struct {
+	Gap int64
+}
+
+// NextGap returns the fixed gap.
+func (u Uniform) NextGap() int64 {
+	if u.Gap < 1 {
+		return 1
+	}
+	return u.Gap
+}
+
+// Request tracks one job through the system.
+type Request struct {
+	ID        uint64
+	ArrivedAt sim.Time
+	StartedAt sim.Time // first scheduled on a core
+	DoneAt    sim.Time
+}
+
+// Recorder accumulates per-request latency distributions.
+type Recorder struct {
+	// Response is arrival-to-completion (what the SLO governs).
+	Response *stats.Histogram
+	// Service is first-schedule-to-completion, including flash waits but
+	// excluding job-queue time (Table II's metric).
+	Service *stats.Histogram
+	// Queueing is arrival-to-first-schedule.
+	Queueing  *stats.Histogram
+	Completed stats.Counter
+}
+
+// NewRecorder returns empty distributions.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		Response: stats.NewHistogram(),
+		Service:  stats.NewHistogram(),
+		Queueing: stats.NewHistogram(),
+	}
+}
+
+// Complete records a finished request. Requests must have monotone
+// timestamps; violations panic since they indicate a simulator bug.
+func (r *Recorder) Complete(req *Request) {
+	if req.StartedAt < req.ArrivedAt || req.DoneAt < req.StartedAt {
+		panic(fmt.Sprintf("loadgen: non-causal request timestamps %+v", req))
+	}
+	r.Response.Record(req.DoneAt - req.ArrivedAt)
+	r.Service.Record(req.DoneAt - req.StartedAt)
+	r.Queueing.Record(req.StartedAt - req.ArrivedAt)
+	r.Completed.Inc()
+}
+
+// Throughput returns completed requests per second over spanNs.
+func (r *Recorder) Throughput(spanNs int64) float64 {
+	return r.Completed.Rate(spanNs)
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"astriflash/internal/sim"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(sim.NewRNG(1), 10_000)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := p.NextGap()
+		if g < 1 {
+			t.Fatalf("gap %d below 1", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-10_000)/10_000 > 0.02 {
+		t.Fatalf("mean gap = %v, want ~10000", mean)
+	}
+}
+
+func TestPoissonInvalidMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive mean did not panic")
+		}
+	}()
+	NewPoisson(sim.NewRNG(1), 0)
+}
+
+func TestUniformGap(t *testing.T) {
+	u := Uniform{Gap: 500}
+	if u.NextGap() != 500 {
+		t.Fatal("uniform gap wrong")
+	}
+	if (Uniform{Gap: 0}).NextGap() != 1 {
+		t.Fatal("zero gap should clamp to 1")
+	}
+}
+
+func TestRecorderSeparatesQueueingAndService(t *testing.T) {
+	r := NewRecorder()
+	r.Complete(&Request{ArrivedAt: 0, StartedAt: 300, DoneAt: 1000})
+	if r.Queueing.Max() != 300 {
+		t.Fatalf("queueing = %d", r.Queueing.Max())
+	}
+	if r.Service.Max() != 700 {
+		t.Fatalf("service = %d", r.Service.Max())
+	}
+	if r.Response.Max() != 1000 {
+		t.Fatalf("response = %d", r.Response.Max())
+	}
+	if r.Completed.Value() != 1 {
+		t.Fatal("completion not counted")
+	}
+}
+
+func TestRecorderThroughput(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.Complete(&Request{ArrivedAt: 0, StartedAt: 0, DoneAt: 1})
+	}
+	// 10 requests over 2 seconds.
+	if tp := r.Throughput(2e9); math.Abs(tp-5) > 1e-9 {
+		t.Fatalf("throughput = %v", tp)
+	}
+}
+
+func TestRecorderNonCausalPanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-causal request did not panic")
+		}
+	}()
+	r.Complete(&Request{ArrivedAt: 100, StartedAt: 50, DoneAt: 200})
+}

@@ -1,0 +1,165 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"astriflash/internal/sim"
+)
+
+// simulateMMK runs a discrete-event M/M/k queue and returns response-time
+// samples, cross-validating the closed forms used for Figure 3 against an
+// independent implementation.
+func simulateMMK(seed uint64, lambda, mu float64, k, jobs int) []float64 {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	arr := rng.Split()
+	svc := rng.Split()
+
+	type job struct{ arrived int64 }
+	var queue []job
+	busy := 0
+	var responses []float64
+
+	var finish func(j job)
+	start := func(j job) {
+		busy++
+		d := int64(svc.Exp(1 / mu))
+		if d < 1 {
+			d = 1
+		}
+		eng.After(d, func() { finish(j) })
+	}
+	finish = func(j job) {
+		busy--
+		responses = append(responses, float64(eng.Now()-j.arrived))
+		if len(queue) > 0 {
+			next := queue[0]
+			queue = queue[1:]
+			start(next)
+		}
+	}
+	arrive := func() {
+		j := job{arrived: eng.Now()}
+		if busy < k {
+			start(j)
+		} else {
+			queue = append(queue, j)
+		}
+	}
+	n := 0
+	var schedule func()
+	schedule = func() {
+		if n >= jobs {
+			return
+		}
+		n++
+		arrive()
+		g := int64(arr.Exp(1 / lambda))
+		if g < 1 {
+			g = 1
+		}
+		eng.After(g, schedule)
+	}
+	schedule()
+	eng.Run()
+	return responses
+}
+
+func pctile(xs []float64, p float64) float64 {
+	sort.Float64s(xs)
+	i := int(math.Ceil(p/100*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return xs[i]
+}
+
+func TestMMKClosedFormMatchesSimulation(t *testing.T) {
+	cases := []struct {
+		lambda, mu float64
+		k          int
+	}{
+		{lambda: 0.0005, mu: 0.001, k: 1}, // M/M/1 at rho=0.5
+		{lambda: 0.004, mu: 0.001, k: 6},  // M/M/6 at rho=0.67
+		{lambda: 0.0025, mu: 0.001, k: 3}, // M/M/3 at rho=0.83
+	}
+	for _, c := range cases {
+		samples := simulateMMK(42, c.lambda, c.mu, c.k, 200000)
+		// Drop warmup transient.
+		samples = samples[len(samples)/10:]
+
+		q := MMK{Lambda: c.lambda, Mu: c.mu, K: c.k}
+		wantMean, err := q.MeanResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, x := range samples {
+			sum += x
+		}
+		gotMean := sum / float64(len(samples))
+		if math.Abs(gotMean-wantMean)/wantMean > 0.05 {
+			t.Fatalf("k=%d rho=%.2f: simulated mean %.0f vs analytical %.0f",
+				c.k, q.Utilization(), gotMean, wantMean)
+		}
+
+		want99, err := q.ResponsePercentile(99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got99 := pctile(samples, 99)
+		if math.Abs(got99-want99)/want99 > 0.10 {
+			t.Fatalf("k=%d rho=%.2f: simulated p99 %.0f vs analytical %.0f",
+				c.k, q.Utilization(), got99, want99)
+		}
+	}
+}
+
+func TestErlangCMatchesSimulatedWaitProbability(t *testing.T) {
+	lambda, mu, k := 0.004, 0.001, 6
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	arr, svc := rng.Split(), rng.Split()
+
+	busy, waited, total := 0, 0, 0
+	var queue []int64
+	var depart func()
+	depart = func() {
+		busy--
+		if len(queue) > 0 {
+			queue = queue[1:]
+			busy++
+			eng.After(int64(svc.Exp(1/mu))+1, depart)
+		}
+	}
+	n := 0
+	var schedule func()
+	schedule = func() {
+		if n >= 200000 {
+			return
+		}
+		n++
+		total++
+		if busy < k {
+			busy++
+			eng.After(int64(svc.Exp(1/mu))+1, depart)
+		} else {
+			waited++
+			queue = append(queue, eng.Now())
+		}
+		eng.After(int64(arr.Exp(1/lambda))+1, schedule)
+	}
+	schedule()
+	eng.Run()
+
+	want, err := MMK{Lambda: lambda, Mu: mu, K: k}.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(waited) / float64(total)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("simulated wait probability %.3f vs Erlang-C %.3f", got, want)
+	}
+}

@@ -1,0 +1,223 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1MeanResponse(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1.0}
+	mean, err := q.MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-2.0) > 1e-12 {
+		t.Fatalf("mean = %v, want 2", mean)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 1.0, Mu: 1.0}
+	if _, err := q.MeanResponse(); err != ErrUnstable {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+	if _, err := q.ResponsePercentile(99); err != ErrUnstable {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMM1Percentile(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1.0}
+	// Sojourn ~ Exp(0.5); p50 = ln(2)/0.5.
+	p50, err := q.ResponsePercentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Ln2 / 0.5
+	if math.Abs(p50-want) > 1e-9 {
+		t.Fatalf("p50 = %v, want %v", p50, want)
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic telephony example: a=2 Erlangs, k=3 servers => C ~ 0.4444.
+	q := MMK{Lambda: 2, Mu: 1, K: 3}
+	c, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-4.0/9.0) > 1e-9 {
+		t.Fatalf("ErlangC = %v, want 4/9", c)
+	}
+}
+
+func TestMMKReducesToMM1(t *testing.T) {
+	// With K=1, Erlang C must equal rho and the response percentile must
+	// match the M/M/1 closed form.
+	k1 := MMK{Lambda: 0.6, Mu: 1, K: 1}
+	c, err := k1.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.6) > 1e-9 {
+		t.Fatalf("K=1 ErlangC = %v, want rho=0.6", c)
+	}
+	m1 := MM1{Lambda: 0.6, Mu: 1}
+	for _, p := range []float64{50, 90, 99} {
+		a, err := k1.ResponsePercentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m1.ResponsePercentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b)/b > 1e-6 {
+			t.Fatalf("p%v: MMK=%v MM1=%v", p, a, b)
+		}
+	}
+}
+
+func TestMMKResponseCCDFIsDistribution(t *testing.T) {
+	if err := quick.Check(func(l8, k8 uint8) bool {
+		k := int(k8%8) + 1
+		rho := 0.05 + 0.9*float64(l8)/255.0
+		q := MMK{Lambda: rho * float64(k), Mu: 1, K: k}
+		prev := 1.0
+		for _, tt := range []float64{0, 0.1, 0.5, 1, 2, 5, 10, 50} {
+			v, err := q.ResponseCCDF(tt)
+			if err != nil {
+				return false
+			}
+			if v < -1e-12 || v > 1+1e-12 || v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMKPercentileInvertsCCDF(t *testing.T) {
+	q := MMK{Lambda: 4, Mu: 1, K: 6}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		tp, err := q.ResponsePercentile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccdf, err := q.ResponseCCDF(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ccdf-(1-p/100)) > 1e-6 {
+			t.Fatalf("p%v: CCDF(t_p)=%v, want %v", p, ccdf, 1-p/100)
+		}
+	}
+}
+
+func TestMMKMeanResponseLittlesLaw(t *testing.T) {
+	// Cross-check the mean against numerical integration of the CCDF:
+	// E[R] = integral of P(R > t) dt.
+	q := MMK{Lambda: 3, Mu: 1, K: 4}
+	mean, err := q.MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	dt := 0.001
+	for tt := 0.0; tt < 60; tt += dt {
+		v, _ := q.ResponseCCDF(tt + dt/2)
+		integral += v * dt
+	}
+	if math.Abs(integral-mean)/mean > 0.01 {
+		t.Fatalf("integral=%v mean=%v", integral, mean)
+	}
+}
+
+func TestMMKUnstable(t *testing.T) {
+	q := MMK{Lambda: 3, Mu: 1, K: 3}
+	if _, err := q.ErlangC(); err != ErrUnstable {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestFig3MaxThroughputOrdering(t *testing.T) {
+	p := DefaultFig3Params()
+	mt := p.MaxThroughput()
+	if mt["DRAM-only"] != 1 {
+		t.Fatalf("DRAM-only max = %v, want 1", mt["DRAM-only"])
+	}
+	// Paper: Flash-Sync >80% degradation, OS-Swap ~50%, AstriFlash small.
+	if mt["Flash-Sync"] > 0.2 {
+		t.Fatalf("Flash-Sync max = %v, want <0.2", mt["Flash-Sync"])
+	}
+	if mt["OS-Swap"] < 0.4 || mt["OS-Swap"] > 0.6 {
+		t.Fatalf("OS-Swap max = %v, want ~0.5", mt["OS-Swap"])
+	}
+	if mt["AstriFlash"] < 0.9 {
+		t.Fatalf("AstriFlash max = %v, want >0.9", mt["AstriFlash"])
+	}
+	if !(mt["DRAM-only"] >= mt["AstriFlash"] && mt["AstriFlash"] > mt["OS-Swap"] && mt["OS-Swap"] > mt["Flash-Sync"]) {
+		t.Fatalf("throughput ordering violated: %v", mt)
+	}
+}
+
+func TestFig3CurvesShape(t *testing.T) {
+	p := DefaultFig3Params()
+	curves := p.Curves(99, 20)
+	if len(curves) != 4 {
+		t.Fatalf("got %d curves, want 4", len(curves))
+	}
+	byName := map[string]Curve{}
+	for _, c := range curves {
+		byName[c.System] = c
+		// Latency must increase with load within each curve.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Latency < c.Points[i-1].Latency {
+				t.Fatalf("%s: latency not monotone in load", c.System)
+			}
+		}
+		if len(c.Points) < 10 {
+			t.Fatalf("%s: only %d points computed", c.System, len(c.Points))
+		}
+	}
+	// AstriFlash uses multiple logical servers; Flash-Sync and DRAM-only
+	// are single-server.
+	if byName["AstriFlash"].Servers < 2 {
+		t.Fatalf("AstriFlash servers = %d, want >=2", byName["AstriFlash"].Servers)
+	}
+	if byName["DRAM-only"].Servers != 1 || byName["Flash-Sync"].Servers != 1 {
+		t.Fatal("run-to-completion systems must be single-server")
+	}
+	// At low load, AstriFlash latency exceeds DRAM-only (flash access is
+	// visible); the paper's Figure 10 discussion.
+	af, dr := byName["AstriFlash"].Points[0], byName["DRAM-only"].Points[0]
+	if af.Latency <= dr.Latency {
+		t.Fatalf("low-load: AstriFlash %v should exceed DRAM-only %v", af.Latency, dr.Latency)
+	}
+}
+
+func TestFig3SLOFactor(t *testing.T) {
+	p := DefaultFig3Params()
+	// Paper: ~40x SLO needed to run within ~20% of DRAM-only. With fully
+	// exponential holding times the factor lands higher; assert the order
+	// of magnitude (tens to low hundreds, not thousands).
+	f := p.SLOFactor("AstriFlash", 0.8, 99)
+	if f < 10 || f > 400 {
+		t.Fatalf("SLO factor = %v, want tens-to-hundreds", f)
+	}
+	// At a gentler 60%% load the 40x bound itself must hold.
+	if f60 := p.SLOFactor("AstriFlash", 0.6, 99); f60 > 60 {
+		t.Fatalf("SLO factor at 60%% load = %v, want <=60", f60)
+	}
+	// Beyond saturation the factor is infinite.
+	if !math.IsInf(p.SLOFactor("Flash-Sync", 0.5, 99), 1) {
+		t.Fatal("Flash-Sync at 50% load should be unstable")
+	}
+	if !math.IsNaN(p.SLOFactor("nonexistent", 0.5, 99)) {
+		t.Fatal("unknown system should return NaN")
+	}
+}

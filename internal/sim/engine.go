@@ -1,0 +1,132 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All AstriFlash components (cores, controllers, devices, schedulers) share
+// one Engine. Time is measured in integer nanoseconds. Events scheduled for
+// the same instant fire in scheduling order, so a run is bit-reproducible
+// given a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time = int64
+
+// Common durations in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Engine is a discrete-event simulator clock and event queue.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Stopped is set by Stop; Run drains no further events once set.
+	stopped bool
+	// fired counts executed events, for diagnostics and runaway detection.
+	fired uint64
+	// Limit, if nonzero, aborts Run with a panic after this many events.
+	// It guards against accidental event storms in tests.
+	Limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued, unexecuted events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in a causal simulation and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	if e.Limit != 0 && e.fired > e.Limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// (if it has not already passed t). Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.events) > 0 && e.events.peek().at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes. Queued events
+// are retained; Resume allows stepping again.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,91 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** by Blackman and Vigna). Every stochastic component in the
+// simulator draws from an RNG derived from the experiment seed, so runs
+// are reproducible and components can be re-seeded independently without
+// perturbing one another.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, which
+// guarantees a well-mixed nonzero state for any seed including zero.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Split derives an independent generator from this one. The child's stream
+// does not overlap the parent's for practical purposes.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It is used for Poisson inter-arrival times and service-time jitter.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,189 @@
+// Package stats provides the measurement machinery for AstriFlash
+// experiments: latency histograms with percentile queries, throughput
+// counters, and small descriptive-statistics helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed latency histogram in the style of HDR
+// histograms. Values are recorded in nanoseconds with bounded relative
+// error (one part in 2^subBits per bucket), so tail percentiles of
+// multi-million-sample runs are cheap to query and memory stays constant.
+type Histogram struct {
+	subBits uint
+	buckets map[int]uint64
+	count   uint64
+	sum     float64
+	min     int64
+	max     int64
+}
+
+const defaultSubBits = 5 // ~3% relative bucket width
+
+// NewHistogram returns an empty histogram with default precision.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		subBits: defaultSubBits,
+		buckets: make(map[int]uint64),
+		min:     math.MaxInt64,
+		max:     math.MinInt64,
+	}
+}
+
+func (h *Histogram) bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < (1 << h.subBits) {
+		return int(v)
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	shift := uint(exp) - h.subBits
+	sub := int(v>>shift) & ((1 << h.subBits) - 1)
+	return int(uint(exp-int(h.subBits)+1))<<h.subBits + sub
+}
+
+func (h *Histogram) bucketLow(b int) int64 {
+	if b < (1 << h.subBits) {
+		return int64(b)
+	}
+	exp := uint(b>>h.subBits) + h.subBits - 1
+	sub := int64(b & ((1 << h.subBits) - 1))
+	return (1 << exp) + sub<<(exp-h.subBits)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[h.bucketOf(v)]++
+	h.count++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns an estimate of the p-th percentile (0 < p <= 100).
+// The estimate is the lower bound of the bucket containing the rank, so
+// it is within one bucket width (~3%) of the true order statistic. The
+// true maximum is returned for ranks falling in the top bucket.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum uint64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= rank {
+			low := h.bucketLow(k)
+			if low < h.min {
+				low = h.min
+			}
+			if low > h.max {
+				low = h.max
+			}
+			return low
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.subBits != h.subBits {
+		panic("stats: merging histograms with different precision")
+	}
+	for k, c := range other.buckets {
+		h.buckets[k] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.buckets = make(map[int]uint64)
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// String summarizes the distribution for logs and reports.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d}",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max)
+}

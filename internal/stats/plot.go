@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for ASCII plotting.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Plot renders series as an ASCII scatter chart, the terminal-native way
+// to eyeball Figure 3 and Figure 10 shapes. Axes are linear; y can be
+// log-scaled for tail-latency curves.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	LogY   bool
+	Series []Series
+}
+
+// defaultMarkers cycles when a series has none.
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart.
+func (p Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w < 20 {
+		w = 60
+	}
+	if h < 5 {
+		h = 16
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range p.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return p.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title + "\n")
+	}
+	yTop, yBot := maxY, minY
+	if p.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", yTop)
+		case h - 1:
+			label = fmt.Sprintf("%7.4g ", yBot)
+		case h / 2:
+			mid := (maxY + minY) / 2
+			if p.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = fmt.Sprintf("%7.4g ", mid)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", w) + "\n")
+	b.WriteString(fmt.Sprintf("%8s %-10.4g%s%10.4g\n", "", minX,
+		strings.Repeat(" ", max(1, w-20)), maxX))
+	if p.XLabel != "" || p.YLabel != "" {
+		b.WriteString(fmt.Sprintf("%8s x: %s", "", p.XLabel))
+		if p.YLabel != "" {
+			b.WriteString(", y: " + p.YLabel)
+			if p.LogY {
+				b.WriteString(" (log)")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		b.WriteString(fmt.Sprintf("%8s %c %s\n", "", marker, s.Name))
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,468 @@
+package system
+
+import (
+	"fmt"
+
+	"astriflash/internal/cachehier"
+	"astriflash/internal/dramcache"
+	"astriflash/internal/loadgen"
+	"astriflash/internal/mem"
+	"astriflash/internal/ospaging"
+	"astriflash/internal/sim"
+	"astriflash/internal/tlbvm"
+	"astriflash/internal/uthread"
+	"astriflash/internal/workload"
+)
+
+// jobState is one request in flight on a core.
+type jobState struct {
+	req     *loadgen.Request
+	steps   []workload.Step
+	pc      int
+	started bool
+	// atAccess marks a job parked at its access (the resume register's
+	// saved PC): resumption re-issues the access, not the compute.
+	atAccess bool
+	// forced is the forward-progress bit: the next access completes
+	// synchronously even on a DRAM-cache miss (Section IV-C3).
+	forced bool
+	// pinnedPage, when set, is a page pinned by the OS fault path until
+	// this job's retry consumes it (OS-Swap only).
+	pinnedPage mem.PageNum
+	hasPin     bool
+	// faultRetries guards against eviction/refetch livelock.
+	faultRetries int
+	// missAt/readyAt timestamp the current miss for latency attribution.
+	missAt  sim.Time
+	readyAt sim.Time
+}
+
+// coreState is one simulated core.
+type coreState struct {
+	s    *System
+	id   int
+	hier *cachehier.Hierarchy
+	tlb  *tlbvm.TLB
+	wkr  *tlbvm.Walker
+
+	sched *uthread.Scheduler // user-thread modes
+	runq  *ospaging.RunQueue // OS-Swap
+	fifo  []*jobState        // DRAM-only / Flash-Sync simple queue
+	cur   *jobState          // job owning the core right now
+	curTh *uthread.Thread    // its thread (user-thread modes)
+	curTk *ospaging.Task     // its task (OS-Swap)
+
+	busy       bool
+	busySince  sim.Time
+	busyAccum  int64
+	lastMissAt sim.Time
+	hasMissed  bool
+}
+
+// setBusy toggles the core's busy state, accumulating busy time.
+func (c *coreState) setBusy(b bool) {
+	now := c.s.eng.Now()
+	if b && !c.busy {
+		c.busySince = now
+	}
+	if !b && c.busy {
+		c.busyAccum += now - c.busySince
+	}
+	c.busy = b
+}
+
+// dcBackend routes page-table accesses through the DRAM cache: the
+// AstriFlash-noDP configuration, where cold table pages come from flash.
+type dcBackend struct {
+	dc *dramcache.Cache
+}
+
+func (b *dcBackend) AccessPT(p mem.PageNum, done func(at sim.Time)) {
+	b.dc.Access(mem.Access{Addr: mem.PageBase(p)}, func(r dramcache.Result) {
+		if r.Hit {
+			done(r.At)
+			return
+		}
+		// Serialized walk: wait for the fill and re-read.
+		b.dc.OnPageReady(mem.PageOf(mem.PageBase(p)), func(sim.Time) {
+			b.AccessPT(p, done)
+		})
+	})
+}
+
+func (s *System) newCore(id int) *coreState {
+	c := &coreState{
+		s:    s,
+		id:   id,
+		hier: cachehier.NewHierarchy(s.cfg.Hier),
+		tlb:  tlbvm.NewTLB(s.cfg.TLB),
+	}
+	c.hier.WritebackSink = func(block uint64) {
+		page := mem.PageOf(mem.Addr(block * mem.BlockSize))
+		if !s.dc.MarkDirty(page) && s.cfg.Mode != DRAMOnly {
+			// Writeback raced the page's eviction: forward to flash.
+			s.flash.Write(page, func(sim.Time) {})
+		}
+	}
+	var backend tlbvm.PTBackend
+	if s.cfg.Mode == AstriFlashNoDP {
+		backend = &dcBackend{dc: s.dc}
+	} else {
+		backend = &tlbvm.FlatBackend{Eng: s.eng, Latency: s.cfg.FlatPTAccessNs}
+	}
+	c.wkr = tlbvm.NewWalker(s.pt, backend)
+
+	if s.cfg.Mode.usesUserThreads() {
+		schedCfg := s.cfg.Sched
+		switch s.cfg.Mode {
+		case AstriFlashIdeal:
+			schedCfg.SwitchCost = 0
+		case AstriFlashNoPS:
+			schedCfg.Policy = uthread.FIFONoPriority
+		}
+		c.sched = uthread.NewScheduler(schedCfg)
+	}
+	if s.cfg.Mode == OSSwap {
+		c.runq = ospaging.NewRunQueue()
+	}
+	return c
+}
+
+// enqueue adds a new job to the core's scheduler.
+func (c *coreState) enqueue(job *jobState) {
+	now := c.s.eng.Now()
+	switch {
+	case c.sched != nil:
+		c.sched.Spawn(job, now)
+	case c.runq != nil:
+		c.runq.Spawn(job, now)
+	default:
+		c.fifo = append(c.fifo, job)
+	}
+	if !c.busy {
+		c.kick()
+	}
+}
+
+// kick schedules the next runnable job, if any.
+func (c *coreState) kick() {
+	if c.busy {
+		return
+	}
+	now := c.s.eng.Now()
+	switch {
+	case c.sched != nil:
+		th := c.sched.PickNext(now)
+		if th == nil {
+			return
+		}
+		job := th.Payload.(*jobState)
+		if th.Switches > 0 && job.atAccess {
+			// A resumed pending thread runs with the forward-progress
+			// bit armed so it cannot be descheduled again before
+			// retiring its access (Section IV-C3).
+			job.forced = true
+		}
+		c.start(job, th, nil)
+	case c.runq != nil:
+		tk := c.runq.PickNext()
+		if tk == nil {
+			return
+		}
+		c.start(tk.Payload.(*jobState), nil, tk)
+	default:
+		if len(c.fifo) == 0 {
+			return
+		}
+		job := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		c.start(job, nil, nil)
+	}
+}
+
+// start installs a job on the core and continues its execution.
+func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) {
+	c.setBusy(true)
+	c.cur = job
+	c.curTh = th
+	c.curTk = tk
+	if !job.started {
+		job.started = true
+		job.req.StartedAt = c.s.eng.Now()
+	}
+	if job.atAccess {
+		job.atAccess = false
+		if job.readyAt > 0 {
+			// Time between the page arriving and the thread regaining
+			// the core is scheduling delay.
+			c.s.attr.add(c.s, attrSched, c.s.eng.Now()-job.readyAt)
+			job.readyAt = 0
+		}
+		c.access(job)
+		return
+	}
+	c.runStep(job)
+}
+
+// runStep executes the compute phase of the job's next step.
+func (c *coreState) runStep(job *jobState) {
+	if job.pc >= len(job.steps) {
+		c.complete(job)
+		return
+	}
+	step := job.steps[job.pc]
+	c.s.attr.add(c.s, attrCompute, step.ComputeNs)
+	c.s.eng.After(step.ComputeNs, func() { c.access(job) })
+}
+
+// complete retires the job and frees the core.
+func (c *coreState) complete(job *jobState) {
+	now := c.s.eng.Now()
+	job.req.DoneAt = now
+	if c.s.measuring {
+		c.s.recorder.Complete(job.req)
+		c.s.JobsDone.Inc()
+	}
+	switch {
+	case c.curTh != nil:
+		c.sched.Finish()
+	case c.curTk != nil:
+		c.runq.Finish()
+	}
+	c.setBusy(false)
+	c.cur, c.curTh, c.curTk = nil, nil, nil
+	if c.s.onJobDone != nil {
+		c.s.onJobDone(c)
+	}
+	c.kick()
+}
+
+// access performs the job's current step's memory reference: TLB, on-chip
+// hierarchy, then the DRAM cache.
+func (c *coreState) access(job *jobState) {
+	step := job.steps[job.pc]
+	vpn := step.Access.Page()
+	if lat, hit := c.tlb.Lookup(vpn); hit {
+		c.s.eng.After(lat, func() { c.chipAccess(job) })
+		return
+	}
+	walkStart := c.s.eng.Now()
+	c.wkr.Walk(c.s.eng, vpn, func(at sim.Time) {
+		c.s.attr.add(c.s, attrWalk, at-walkStart)
+		c.tlb.Insert(vpn)
+		c.chipAccess(job)
+	})
+}
+
+// chipAccess probes the on-chip hierarchy.
+func (c *coreState) chipAccess(job *jobState) {
+	step := job.steps[job.pc]
+	r := c.hier.Access(step.Access)
+	c.s.attr.add(c.s, attrOnChip, r.Latency)
+	if !r.ToDRAM {
+		// The reference is served on chip; refresh the page's recency so
+		// the DRAM cache's replacement policy sees the reuse.
+		c.s.dc.Touch(step.Access.Page())
+		c.s.eng.After(r.Latency, func() { c.stepDone(job) })
+		return
+	}
+	c.s.eng.After(r.Latency, func() { c.dramAccess(job) })
+}
+
+// dramAccess probes the DRAM cache (or flat DRAM for DRAM-only).
+func (c *coreState) dramAccess(job *jobState) {
+	step := job.steps[job.pc]
+	issued := c.s.eng.Now()
+	if c.s.cfg.Mode == DRAMOnly {
+		c.s.dc.AccessAlwaysHit(step.Access, func(r dramcache.Result) {
+			c.s.attr.add(c.s, attrDRAM, r.At-issued)
+			c.hier.Fill(step.Access)
+			c.stepDone(job)
+		})
+		return
+	}
+	c.s.dc.Access(step.Access, func(r dramcache.Result) {
+		if r.Hit {
+			c.s.attr.add(c.s, attrDRAM, r.At-issued)
+			job.faultRetries = 0
+			if job.hasPin {
+				c.s.dc.Unpin(job.pinnedPage)
+				job.hasPin = false
+			}
+			c.hier.Fill(step.Access)
+			c.stepDone(job)
+			return
+		}
+		c.onDRAMMiss(job)
+	})
+}
+
+// stepDone advances the job past a completed access.
+func (c *coreState) stepDone(job *jobState) {
+	if job.forced {
+		job.forced = false // the forced access retired
+	}
+	job.pc++
+	c.runStep(job)
+}
+
+// onDRAMMiss routes a DRAM-cache miss through the configured mechanism.
+func (c *coreState) onDRAMMiss(job *jobState) {
+	now := c.s.eng.Now()
+	if c.s.dcMissHook != nil {
+		c.s.dcMissHook(job.steps[job.pc].Access.Page())
+	}
+	if c.s.measuring {
+		c.s.MissSignals.Inc()
+		if c.hasMissed {
+			c.s.MissInterval.Record(now - c.lastMissAt)
+		}
+	}
+	c.hasMissed = true
+	c.lastMissAt = now
+
+	job.faultRetries++
+	if job.faultRetries > 1000 {
+		panic(fmt.Sprintf("system: job stuck refetching page %v", job.steps[job.pc].Access.Page()))
+	}
+
+	// Hold a reference on the incoming page until this job consumes it.
+	// At paper scale the cache turns over in ~seconds and a just-installed
+	// page is never evicted before its requester resumes; the scaled
+	// cache turns over in sub-milliseconds, so the model must preserve
+	// that property explicitly (the OS does it with a page reference, the
+	// BC by deferring victimization of just-installed pages).
+	if !job.hasPin {
+		page := job.steps[job.pc].Access.Page()
+		c.s.dc.Pin(page)
+		job.pinnedPage = page
+		job.hasPin = true
+	}
+
+	switch {
+	case c.s.cfg.Mode == FlashSync:
+		c.syncWait(job)
+	case c.s.cfg.Mode == OSSwap:
+		c.osFault(job)
+	default:
+		c.userThreadMiss(job)
+	}
+}
+
+// syncWait blocks the core until the page arrives, then retries the
+// access (Flash-Sync, and the forced-progress path in AstriFlash).
+func (c *coreState) syncWait(job *jobState) {
+	page := job.steps[job.pc].Access.Page()
+	start := c.s.eng.Now()
+	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		c.s.attr.add(c.s, attrFlash, at-start)
+		c.dramAccess(job)
+	})
+}
+
+// userThreadMiss is the AstriFlash switch-on-miss path: flush the
+// pipeline, invoke the handler, park the thread, switch.
+func (c *coreState) userThreadMiss(job *jobState) {
+	if job.forced {
+		// Forward-progress bit set: complete synchronously at FC.
+		if c.s.measuring {
+			c.s.ForcedSync.Inc()
+		}
+		c.syncWait(job)
+		return
+	}
+	now := c.s.eng.Now()
+	th := c.sched.Running()
+	page := job.steps[job.pc].Access.Page()
+
+	// Pipeline flush: the ROB is half full on average when the miss
+	// signal arrives.
+	flushCost := c.s.cfg.CPU.FlushBase + int64(c.s.cfg.CPU.ROBEntries/2)*c.s.cfg.CPU.FlushPerEntry
+
+	blockOn, switched := c.sched.OnMiss(now)
+	if !switched {
+		// Pending queue full: block on this thread synchronously.
+		_ = blockOn
+		if c.s.measuring {
+			c.s.ForcedSync.Inc()
+		}
+		c.syncWait(job)
+		return
+	}
+	job.atAccess = true
+	job.missAt = now
+	job.readyAt = 0
+	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		job.readyAt = at
+		c.s.attr.add(c.s, attrFlash, at-job.missAt)
+		c.sched.NotifyReady(th, at)
+		if !c.busy {
+			c.kick()
+		}
+	})
+	c.setBusy(false)
+	c.cur, c.curTh = nil, nil
+	cost := flushCost + c.sched.Config().SwitchCost
+	c.s.attr.add(c.s, attrSched, cost)
+	c.s.eng.After(cost, func() { c.kick() })
+}
+
+// osFault is the OS-Swap path: kernel fault entry under the VM lock, a
+// context switch away, and a wake after install plus shootdown.
+func (c *coreState) osFault(job *jobState) {
+	if job.faultRetries > 3 {
+		// The page keeps getting evicted before the task reschedules;
+		// the OS wins eventually by retrying the fault while the task
+		// stays on-CPU.
+		c.syncWait(job)
+		return
+	}
+	now := c.s.eng.Now()
+	page := job.steps[job.pc].Access.Page()
+	tk := c.runq.Running()
+
+	faultDone := c.s.kernel.PageFault(now)
+	job.atAccess = true
+	job.missAt = now
+	job.readyAt = 0
+	c.runq.Block(now)
+	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		c.s.attr.add(c.s, attrFlash, at-job.missAt)
+		installDone := c.s.kernel.InstallPage(at)
+		c.s.attr.add(c.s, attrOS, installDone-at)
+		c.s.eng.At(installDone, func() {
+			job.readyAt = installDone
+			c.runq.Wake(tk)
+			if !c.busy {
+				c.kick()
+			}
+		})
+	})
+	c.setBusy(false)
+	c.cur, c.curTk = nil, nil
+	// The core spends the fault path plus one context switch before the
+	// next task runs.
+	resumeAt := faultDone + c.s.kernel.ContextSwitch()
+	c.s.attr.add(c.s, attrOS, resumeAt-now)
+	c.s.eng.At(resumeAt, func() { c.kick() })
+}
+
+// queuedNew reports scheduler depth for diagnostics.
+func (c *coreState) queuedNew() int {
+	switch {
+	case c.sched != nil:
+		return c.sched.QueuedNew()
+	case c.runq != nil:
+		return c.runq.Runnable()
+	default:
+		return len(c.fifo)
+	}
+}
+
+// queuedPending reports miss-blocked thread count for diagnostics.
+func (c *coreState) queuedPending() int {
+	if c.sched != nil {
+		return c.sched.QueuedPending()
+	}
+	return 0
+}

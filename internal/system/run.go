@@ -1,0 +1,168 @@
+package system
+
+import (
+	"fmt"
+
+	"astriflash/internal/loadgen"
+	"astriflash/internal/sim"
+)
+
+// onJobDone, when set by a driver, fires after each completion (closed-
+// loop replenishment).
+
+// Result summarizes one run's measurement window.
+type Result struct {
+	Mode     string
+	Workload string
+
+	SimulatedNs int64
+	Jobs        uint64
+	// ThroughputJPS is completed jobs per second of simulated time.
+	ThroughputJPS float64
+
+	MeanServiceNs int64
+	P50ServiceNs  int64
+	P99ServiceNs  int64
+	P50RespNs     int64
+	P99RespNs     int64
+	P50QueueNs    int64
+	P99QueueNs    int64
+
+	DRAMCacheMissRatio float64
+	MissIntervalP50Ns  int64
+	// MeanMissIntervalNs is the average per-core spacing between DRAM-
+	// cache misses — the paper's "miss every 5-25 us" calibration target.
+	MeanMissIntervalNs int64
+	FlashReads         uint64
+	FlashWrites        uint64
+	GCRuns             uint64
+	GCBlockedFraction  float64
+	ForcedSyncCount    uint64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: %.0f jobs/s, p99 resp %d us, p99 svc %d us, miss %.2f%%",
+		r.Mode, r.Workload, r.ThroughputJPS,
+		r.P99RespNs/1000, r.P99ServiceNs/1000, r.DRAMCacheMissRatio*100)
+}
+
+// spawnJob materializes a fresh workload request for core c at time now.
+func (s *System) spawnJob(c *coreState, arrived sim.Time) *jobState {
+	job := &jobState{
+		req:   &loadgen.Request{ArrivedAt: arrived},
+		steps: s.wl.NewJob().Steps,
+	}
+	c.enqueue(job)
+	return job
+}
+
+// statSnapshot freezes cumulative counters at measurement start so
+// collect can report steady-state (window-only) values.
+type statSnapshot struct {
+	dcHits, dcMisses       uint64
+	flashReads, flashWrite uint64
+	gcRuns                 uint64
+}
+
+func (s *System) snapshot() statSnapshot {
+	return statSnapshot{
+		dcHits:     s.dc.Accesses.Hits,
+		dcMisses:   s.dc.Accesses.Misses,
+		flashReads: s.flash.Reads.Value(),
+		flashWrite: s.flash.Writes.Value(),
+		gcRuns:     s.flash.GCRuns.Value(),
+	}
+}
+
+// collect builds the Result for the measurement window.
+func (s *System) collect(windowNs int64, snap statSnapshot) Result {
+	rec := s.recorder
+	dc := s.dc
+	dHits := dc.Accesses.Hits - snap.dcHits
+	dMisses := dc.Accesses.Misses - snap.dcMisses
+	missRatio := 0.0
+	if dHits+dMisses > 0 {
+		missRatio = float64(dMisses) / float64(dHits+dMisses)
+	}
+	meanIval := int64(0)
+	if s.MissSignals.Value() > 0 {
+		meanIval = windowNs * int64(len(s.cores)) / int64(s.MissSignals.Value())
+	}
+	res := Result{
+		Mode:               s.cfg.Mode.String(),
+		Workload:           s.wl.Name(),
+		SimulatedNs:        windowNs,
+		Jobs:               s.JobsDone.Value(),
+		ThroughputJPS:      rec.Throughput(windowNs),
+		MeanServiceNs:      int64(rec.Service.Mean()),
+		P50ServiceNs:       rec.Service.Percentile(50),
+		P99ServiceNs:       rec.Service.Percentile(99),
+		P50RespNs:          rec.Response.Percentile(50),
+		P99RespNs:          rec.Response.Percentile(99),
+		P50QueueNs:         rec.Queueing.Percentile(50),
+		P99QueueNs:         rec.Queueing.Percentile(99),
+		DRAMCacheMissRatio: missRatio,
+		MissIntervalP50Ns:  s.MissInterval.Percentile(50),
+		MeanMissIntervalNs: meanIval,
+		FlashReads:         s.flash.Reads.Value() - snap.flashReads,
+		FlashWrites:        s.flash.Writes.Value() - snap.flashWrite,
+		GCRuns:             s.flash.GCRuns.Value() - snap.gcRuns,
+		GCBlockedFraction:  s.flash.BlockedReadFraction(),
+		ForcedSyncCount:    s.ForcedSync.Value(),
+	}
+	return res
+}
+
+// RunClosedLoop drives the system at saturation: inflightPerCore jobs are
+// kept outstanding on every core (the paper's "large job queue" for
+// maximum-throughput measurement, Section V-A). Statistics cover only the
+// window after warmupNs.
+func (s *System) RunClosedLoop(inflightPerCore int, warmupNs, measureNs int64) Result {
+	if inflightPerCore < 1 {
+		panic("system: need at least one job in flight per core")
+	}
+	s.onJobDone = func(c *coreState) {
+		s.spawnJob(c, s.eng.Now())
+	}
+	for _, c := range s.cores {
+		for i := 0; i < inflightPerCore; i++ {
+			s.spawnJob(c, 0)
+		}
+	}
+	s.eng.RunUntil(warmupNs)
+	s.measuring = true
+	snap := s.snapshot()
+	s.eng.RunUntil(warmupNs + measureNs)
+	s.measuring = false
+	return s.collect(measureNs, snap)
+}
+
+// RunOpenLoop drives Poisson arrivals at the given mean inter-arrival gap
+// (per system, spread round-robin across cores) for the tail-latency
+// experiments (Figure 10). Requests arriving during warmup are served but
+// not recorded.
+func (s *System) RunOpenLoop(meanInterArrivalNs float64, warmupNs, measureNs int64) Result {
+	arr := loadgen.NewPoisson(s.rng.Split(), meanInterArrivalNs)
+	next := 0
+	var schedule func()
+	end := warmupNs + measureNs
+	schedule = func() {
+		now := s.eng.Now()
+		if now >= end {
+			return
+		}
+		c := s.cores[next%len(s.cores)]
+		next++
+		s.spawnJob(c, now)
+		s.eng.After(sim.Time(arr.NextGap()), schedule)
+	}
+	s.eng.After(sim.Time(arr.NextGap()), schedule)
+	s.eng.RunUntil(warmupNs)
+	s.measuring = true
+	snap := s.snapshot()
+	s.eng.RunUntil(end)
+	// Drain: let in-flight requests finish so tail samples are complete.
+	s.eng.Run()
+	s.measuring = false
+	return s.collect(measureNs, snap)
+}

@@ -1,0 +1,295 @@
+// Package system assembles the full AstriFlash machine: cores with
+// on-chip hierarchies and TLBs, the hardware-managed DRAM cache (FC/BC/
+// MSR), the flash device, the user-level thread scheduler, and the OS
+// paging baseline — one assembly per evaluated configuration (paper
+// Section V-B). It provides closed-loop drivers for throughput (Figure 9)
+// and open-loop Poisson drivers for tail latency (Figure 10, Table II).
+package system
+
+import (
+	"fmt"
+
+	"astriflash/internal/cachehier"
+	"astriflash/internal/cpu"
+	"astriflash/internal/dram"
+	"astriflash/internal/dramcache"
+	"astriflash/internal/flash"
+	"astriflash/internal/loadgen"
+	"astriflash/internal/mem"
+	"astriflash/internal/ospaging"
+	"astriflash/internal/sim"
+	"astriflash/internal/stats"
+	"astriflash/internal/tlbvm"
+	"astriflash/internal/uthread"
+	"astriflash/internal/workload"
+)
+
+// Mode selects the evaluated configuration.
+type Mode int
+
+// The seven configurations of Section V-B.
+const (
+	DRAMOnly Mode = iota
+	AstriFlash
+	AstriFlashIdeal
+	AstriFlashNoPS
+	AstriFlashNoDP
+	OSSwap
+	FlashSync
+)
+
+// Modes lists all configurations in the paper's presentation order.
+func Modes() []Mode {
+	return []Mode{DRAMOnly, AstriFlash, AstriFlashIdeal, AstriFlashNoPS, AstriFlashNoDP, OSSwap, FlashSync}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case DRAMOnly:
+		return "DRAM-only"
+	case AstriFlash:
+		return "AstriFlash"
+	case AstriFlashIdeal:
+		return "AstriFlash-Ideal"
+	case AstriFlashNoPS:
+		return "AstriFlash-noPS"
+	case AstriFlashNoDP:
+		return "AstriFlash-noDP"
+	case OSSwap:
+		return "OS-Swap"
+	case FlashSync:
+		return "Flash-Sync"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// usesUserThreads reports whether the mode runs the user-level scheduler.
+func (m Mode) usesUserThreads() bool {
+	switch m {
+	case AstriFlash, AstriFlashIdeal, AstriFlashNoPS, AstriFlashNoDP:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config describes a full system.
+type Config struct {
+	Mode         Mode
+	Cores        int
+	WorkloadName string
+	Workload     workload.Config
+	// CustomWorkload, when non-nil, overrides WorkloadName: the system
+	// runs this generator instead (trace replay, user-supplied
+	// workloads).
+	CustomWorkload workload.Workload
+
+	// DRAMCacheFraction is the DRAM-to-dataset capacity ratio (paper: 3%).
+	DRAMCacheFraction float64
+
+	DRAMTiming   dram.Timing
+	DRAMGeometry dram.Geometry
+	Flash        flash.Config
+	// FlashFixed suppresses the automatic scaling of flash channels with
+	// core count; set when the caller chose the device geometry.
+	FlashFixed bool
+	// FootprintCache enables the footprint-fetch extension in the DRAM
+	// cache (Section II-A's bandwidth optimization).
+	FootprintCache bool
+	// CacheReplacement selects the DRAM-cache victim policy.
+	CacheReplacement dramcache.Replacement
+	Hier             cachehier.HierConfig
+	TLB              tlbvm.TLBConfig
+	Sched            uthread.Config
+	OSCosts          ospaging.Costs
+	Shootdown        tlbvm.ShootdownModel
+	CPU              cpu.Config
+
+	// FlatPTAccessNs prices one page-table level in the flat DRAM
+	// partition (all modes except noDP).
+	FlatPTAccessNs int64
+	// PTFanoutLog is log2 of page-table node fanout. 9 is the real
+	// 512-ary layout; scaled datasets use 4 so the table's working set
+	// scales with the dataset (see tlbvm.NewPageTableFanout).
+	PTFanoutLog uint
+
+	Seed uint64
+}
+
+// DefaultConfig returns the Table I system scaled for simulation: 16
+// cores, 3% DRAM cache, with the workload's scaled dataset standing in
+// for the paper's 256 GB.
+func DefaultConfig(mode Mode, workloadName string) Config {
+	return Config{
+		Mode:              mode,
+		Cores:             16,
+		WorkloadName:      workloadName,
+		Workload:          workload.DefaultConfig(),
+		DRAMCacheFraction: 0.03,
+		DRAMTiming:        dram.DefaultTiming(),
+		DRAMGeometry:      dram.DefaultGeometry(),
+		Flash:             flash.DefaultConfig(), // channels rescaled in New
+		Hier:              scaledHierConfig(),
+		TLB:               tlbvm.TLBConfig{Sets: 64, Ways: 4, HitLatency: 1},
+		Sched:             uthread.DefaultConfig(),
+		OSCosts:           ospaging.DefaultCosts(),
+		Shootdown:         tlbvm.DefaultShootdownModel(),
+		CPU:               cpu.DefaultConfig(),
+		FlatPTAccessNs:    60,
+		PTFanoutLog:       4,
+		Seed:              0xa57f,
+	}
+}
+
+// scaledHierConfig shrinks the per-core LLC in proportion to the scaled
+// dataset: the paper's 1 MB/core over 256 GB is ~0.006% of the dataset,
+// so a 32 MB scaled dataset pairs with a ~32 KB LLC to preserve the
+// relative filtering the DRAM cache sees.
+func scaledHierConfig() cachehier.HierConfig {
+	cfg := cachehier.DefaultHierConfig()
+	cfg.LLCSets = 64
+	cfg.LLCWays = 8
+	return cfg
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("system: need at least one core")
+	}
+	if c.DRAMCacheFraction <= 0 || c.DRAMCacheFraction > 1 {
+		return fmt.Errorf("system: DRAM cache fraction %v out of (0,1]", c.DRAMCacheFraction)
+	}
+	if c.CustomWorkload == nil {
+		if err := c.Workload.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.OSCosts.Validate()
+}
+
+// System is one assembled machine.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *sim.RNG
+	wl    workload.Workload
+	dram  *dram.Device
+	flash *flash.Device
+	dc    *dramcache.Cache
+	cores []*coreState
+
+	kernel *ospaging.Kernel
+	pt     *tlbvm.PageTable
+
+	recorder *loadgen.Recorder
+	// measuring gates statistics to the measurement window.
+	measuring bool
+	// onJobDone, when set by a driver, fires after each completion
+	// (closed-loop replenishment).
+	onJobDone func(c *coreState)
+
+	// dcMissHook, when set, observes every DRAM-cache miss page (diagnostics).
+	dcMissHook func(p mem.PageNum)
+	// attr accumulates latency attribution during measurement.
+	attr attribution
+
+	JobsDone     stats.Counter
+	MissSignals  stats.Counter
+	ForcedSync   stats.Counter
+	MissInterval *stats.Histogram // per-core time between DRAM-cache misses
+}
+
+// New builds the system and its workload dataset.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wl := cfg.CustomWorkload
+	if wl == nil {
+		var err error
+		wl, err = workload.New(cfg.WorkloadName, cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng := sim.NewEngine()
+	dev := dram.NewDevice(cfg.DRAMTiming, cfg.DRAMGeometry)
+	// Provision flash bandwidth with the core count, as the paper does
+	// (Section II-A: 60 GB/s for 64 cores via multiple SSDs). Four
+	// planes per core keeps read utilization below ~30% at the 5-25 us
+	// miss cadence. Explicit channel overrides are respected.
+	if !cfg.FlashFixed && cfg.Flash.Channels == flash.DefaultConfig().Channels &&
+		3*cfg.Cores > cfg.Flash.Channels {
+		cfg.Flash.Channels = 3 * cfg.Cores
+	}
+	fl := flash.NewDevice(eng, cfg.Flash)
+
+	datasetPages := wl.DatasetPages()
+	cachePages := uint64(float64(datasetPages) * cfg.DRAMCacheFraction)
+	dcCfg := dramcache.DefaultConfig(roundUpWays(cachePages, 16))
+	dcCfg.Replacement = cfg.CacheReplacement
+	dc := dramcache.New(eng, dcCfg, dev, fl)
+	if cfg.FootprintCache {
+		dc.EnableFootprint(dramcache.DefaultFootprintConfig())
+	}
+
+	s := &System{
+		cfg:          cfg,
+		eng:          eng,
+		rng:          sim.NewRNG(cfg.Seed),
+		wl:           wl,
+		dram:         dev,
+		flash:        fl,
+		dc:           dc,
+		recorder:     loadgen.NewRecorder(),
+		MissInterval: stats.NewHistogram(),
+	}
+
+	// Page tables live right above the dataset in the flash-mapped
+	// physical address space.
+	ptFan := cfg.PTFanoutLog
+	if ptFan == 0 {
+		ptFan = 9
+	}
+	s.pt = tlbvm.NewPageTableFanout(datasetPages, mem.PageNum(datasetPages), ptFan)
+
+	if cfg.Mode == OSSwap {
+		s.kernel = ospaging.NewKernel(eng, cfg.OSCosts, cfg.Shootdown, cfg.Cores)
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, s.newCore(i))
+	}
+	// The DRAM cache is a memory-side cache (Knights-Landing style): it
+	// is not inclusive of the on-chip hierarchy, so evictions do NOT
+	// invalidate LLC copies. Dirty on-chip lines whose page has left the
+	// DRAM cache are forwarded to flash by the writeback sink.
+	return s, nil
+}
+
+func roundUpWays(pages, ways uint64) uint64 {
+	if pages < ways {
+		return ways
+	}
+	return (pages + ways - 1) / ways * ways
+}
+
+// Engine exposes the simulation clock for drivers and tests.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// DRAMCache exposes the cache for inspection.
+func (s *System) DRAMCache() *dramcache.Cache { return s.dc }
+
+// Flash exposes the device for inspection.
+func (s *System) Flash() *flash.Device { return s.flash }
+
+// Workload exposes the generator.
+func (s *System) Workload() workload.Workload { return s.wl }
+
+// Recorder exposes latency distributions.
+func (s *System) Recorder() *loadgen.Recorder { return s.recorder }
+
+// Kernel exposes the OS model (OS-Swap mode only; nil otherwise).
+func (s *System) Kernel() *ospaging.Kernel { return s.kernel }

@@ -1,0 +1,222 @@
+// Package tlbvm models the address-translation machinery the paper's
+// Section IV-A depends on: per-core TLBs, a radix page-table walker whose
+// table pages either live in a flat DRAM partition (AstriFlash's default,
+// Knights-Landing-style hybrid DRAM) or behind the DRAM cache where cold
+// walks can reach flash (the AstriFlash-noDP configuration), and the
+// broadcast TLB-shootdown cost model that makes OS-Swap scale poorly.
+package tlbvm
+
+import (
+	"fmt"
+
+	"astriflash/internal/cachehier"
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+	"astriflash/internal/stats"
+)
+
+// TLBConfig sizes one TLB.
+type TLBConfig struct {
+	Sets       int
+	Ways       int
+	HitLatency int64 // folded into the L1 access in real cores; ~1 ns
+}
+
+// DefaultTLBConfig approximates a 1.5 K-entry two-level TLB flattened into
+// one structure.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{Sets: 128, Ways: 8, HitLatency: 1}
+}
+
+// TLB caches virtual-to-physical page translations. AstriFlash maps flash
+// through BARs so translations are stable; OS-Swap remaps on every page
+// migration and must shoot entries down.
+type TLB struct {
+	cache   *cachehier.Cache
+	hitLat  int64
+	Metrics stats.Ratio
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB(cfg TLBConfig) *TLB {
+	return &TLB{cache: cachehier.NewCache(cfg.Sets, cfg.Ways), hitLat: cfg.HitLatency}
+}
+
+// Lookup probes for vpn; on a hit it returns (hitLatency, true).
+func (t *TLB) Lookup(vpn mem.PageNum) (int64, bool) {
+	if t.cache.Lookup(uint64(vpn), false) {
+		t.Metrics.Hit()
+		return t.hitLat, true
+	}
+	t.Metrics.Miss()
+	return t.hitLat, false
+}
+
+// Insert fills a translation after a walk.
+func (t *TLB) Insert(vpn mem.PageNum) { t.cache.Insert(uint64(vpn), false) }
+
+// Invalidate removes one translation (a shootdown for that page).
+func (t *TLB) Invalidate(vpn mem.PageNum) bool { return t.cache.Invalidate(uint64(vpn)) }
+
+// Flush empties the TLB (OS context switch).
+func (t *TLB) Flush() { t.cache.InvalidateAll() }
+
+// Resident returns the number of cached translations.
+func (t *TLB) Resident() int { return t.cache.Resident() }
+
+// PageTable is a radix page table over the workload's virtual page range.
+// It exists to give walks realistic page-level locality: translations for
+// neighboring VPNs share table pages, so hot regions keep their table
+// pages hot.
+type PageTable struct {
+	levels    int
+	fanoutLog uint // log2 entries per table page (512 => 9)
+	regionOf  []mem.PageNum
+	pages     []uint64 // table pages per level
+}
+
+// NewPageTable builds a table covering vpns virtual pages, with table
+// pages allocated from tableBase upward. Four levels and 512-entry nodes
+// mirror x86-64/ARM granule layouts.
+func NewPageTable(vpns uint64, tableBase mem.PageNum) *PageTable {
+	return NewPageTableFanout(vpns, tableBase, 9)
+}
+
+// NewPageTableFanout builds a table with 2^fanoutLog entries per node.
+// Scaled-down simulations use a smaller fanout so the page-table working
+// set keeps the same proportion to the DRAM cache that a full-scale
+// 512-ary table over a TB dataset has — otherwise a few leaf pages cover
+// the whole scaled dataset and the noDP configuration shows no flash
+// walks.
+func NewPageTableFanout(vpns uint64, tableBase mem.PageNum, fanoutLog uint) *PageTable {
+	if fanoutLog < 1 || fanoutLog > 9 {
+		panic(fmt.Sprintf("tlbvm: fanout log %d out of [1,9]", fanoutLog))
+	}
+	pt := &PageTable{levels: 4, fanoutLog: fanoutLog}
+	base := tableBase
+	// Level 0 is the leaf level: one entry per VPN.
+	for l := 0; l < pt.levels; l++ {
+		entries := vpns >> (pt.fanoutLog * uint(l))
+		if entries == 0 {
+			entries = 1
+		}
+		pages := (entries + (1 << pt.fanoutLog) - 1) >> pt.fanoutLog
+		pt.regionOf = append(pt.regionOf, base)
+		pt.pages = append(pt.pages, pages)
+		base += mem.PageNum(pages)
+	}
+	return pt
+}
+
+// Levels returns the number of radix levels.
+func (pt *PageTable) Levels() int { return pt.levels }
+
+// TotalPages returns the table's footprint in pages.
+func (pt *PageTable) TotalPages() uint64 {
+	var n uint64
+	for _, p := range pt.pages {
+		n += p
+	}
+	return n
+}
+
+// WalkPages returns the table pages touched translating vpn, from the
+// root level down to the leaf.
+func (pt *PageTable) WalkPages(vpn mem.PageNum) []mem.PageNum {
+	out := make([]mem.PageNum, 0, pt.levels)
+	for l := pt.levels - 1; l >= 0; l-- {
+		entry := uint64(vpn) >> (pt.fanoutLog * uint(l))
+		pageIdx := entry >> pt.fanoutLog
+		if pageIdx >= pt.pages[l] {
+			pageIdx = pt.pages[l] - 1
+		}
+		out = append(out, pt.regionOf[l]+mem.PageNum(pageIdx))
+	}
+	return out
+}
+
+// PTBackend answers the walker's memory accesses. The partitioned backend
+// prices a flat-DRAM access; the cache-backed backend routes through the
+// DRAM cache where a cold table page goes to flash.
+type PTBackend interface {
+	// AccessPT reads one table entry on page p; done fires when the
+	// entry is available.
+	AccessPT(p mem.PageNum, done func(at sim.Time))
+}
+
+// FlatBackend is the DRAM-partitioned backend (Section IV-A): the OS pins
+// page tables in flat DRAM rows, so every level costs one DRAM access.
+type FlatBackend struct {
+	Eng     *sim.Engine
+	Latency int64 // per-level flat-DRAM access latency
+}
+
+// AccessPT completes after the flat-DRAM latency.
+func (b *FlatBackend) AccessPT(_ mem.PageNum, done func(at sim.Time)) {
+	at := b.Eng.Now() + b.Latency
+	b.Eng.At(at, func() { done(at) })
+}
+
+// Walker performs serialized radix walks against a backend.
+type Walker struct {
+	PT      *PageTable
+	Backend PTBackend
+
+	Walks   stats.Counter
+	WalkLat *stats.Histogram
+}
+
+// NewWalker returns a walker over pt.
+func NewWalker(pt *PageTable, b PTBackend) *Walker {
+	return &Walker{PT: pt, Backend: b, WalkLat: stats.NewHistogram()}
+}
+
+// Walk translates vpn, touching each level's table page in order, and
+// calls done when the leaf entry is read. The walk is serialized: level
+// N+1's access begins only when level N's data arrives, which is why
+// flash-resident table pages destroy tail latency (Table II, noDP).
+func (w *Walker) Walk(eng *sim.Engine, vpn mem.PageNum, done func(at sim.Time)) {
+	pages := w.PT.WalkPages(vpn)
+	start := eng.Now()
+	w.Walks.Inc()
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(pages) {
+			at := eng.Now()
+			w.WalkLat.Record(at - start)
+			done(at)
+			return
+		}
+		w.Backend.AccessPT(pages[i], func(sim.Time) { step(i + 1) })
+	}
+	step(0)
+}
+
+// ShootdownModel prices broadcast TLB shootdowns (Section II-C): an
+// initiator-side fixed cost plus a per-responder cost, growing linearly
+// with core count — over 10 us on big machines.
+type ShootdownModel struct {
+	BaseNs    int64 // initiator IPI setup and wait
+	PerCoreNs int64 // per-responder interrupt + invalidate + ack
+}
+
+// DefaultShootdownModel calibrates to ~10 us at 16 cores.
+func DefaultShootdownModel() ShootdownModel {
+	return ShootdownModel{BaseNs: 2_000, PerCoreNs: 500}
+}
+
+// Latency returns the initiator-visible shootdown time for n cores.
+func (m ShootdownModel) Latency(cores int) int64 {
+	if cores < 1 {
+		cores = 1
+	}
+	return m.BaseNs + int64(cores)*m.PerCoreNs
+}
+
+// Validate rejects nonsensical models.
+func (m ShootdownModel) Validate() error {
+	if m.BaseNs < 0 || m.PerCoreNs < 0 {
+		return fmt.Errorf("tlbvm: negative shootdown costs %+v", m)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"astriflash/internal/mem"
+)
+
+// Summary holds descriptive statistics of a trace.
+type Summary struct {
+	Accesses      int
+	Jobs          int
+	DistinctPages int
+	WriteFraction float64
+	// MeanComputeNs is the average per-access compute time.
+	MeanComputeNs float64
+	// Top decile share: fraction of accesses absorbed by the hottest 10%
+	// of touched pages (the skew the paper's design exploits).
+	TopDecileShare float64
+}
+
+// Summarize computes trace statistics in one pass.
+func Summarize(t *Trace) Summary {
+	counts := make(map[mem.PageNum]int)
+	writes := 0
+	var compute int64
+	for _, r := range t.Records {
+		counts[r.Page()]++
+		if r.Write {
+			writes++
+		}
+		compute += r.ComputeNs
+	}
+	s := Summary{
+		Accesses:      len(t.Records),
+		Jobs:          t.Jobs(),
+		DistinctPages: len(counts),
+	}
+	if s.Accesses == 0 {
+		return s
+	}
+	s.WriteFraction = float64(writes) / float64(s.Accesses)
+	s.MeanComputeNs = float64(compute) / float64(s.Accesses)
+
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := len(freqs) / 10
+	if top == 0 {
+		top = 1
+	}
+	hot := 0
+	for _, c := range freqs[:top] {
+		hot += c
+	}
+	s.TopDecileShare = float64(hot) / float64(s.Accesses)
+	return s
+}
+
+// Page returns the page a record touches.
+func (r Record) Page() mem.PageNum { return mem.PageOf(r.Addr) }
+
+// fenwick is a binary indexed tree over access timestamps, the core of
+// Olken's single-pass stack-distance algorithm.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over [a, b].
+func (f *fenwick) rangeSum(a, b int) int {
+	if a > b {
+		return 0
+	}
+	s := f.prefix(b)
+	if a > 0 {
+		s -= f.prefix(a - 1)
+	}
+	return s
+}
+
+// MissCurve computes, in one pass over the trace, the page-granularity
+// LRU miss ratio for every cache capacity in pagesSweep — the analytical
+// counterpart of Figure 1's sweep, exact for a fully associative LRU
+// cache (Mattson's stack algorithm, Olken's Fenwick-tree formulation).
+// Cold (first-touch) accesses count as misses at every capacity.
+func MissCurve(t *Trace, pagesSweep []uint64) map[uint64]float64 {
+	if len(t.Records) == 0 {
+		out := map[uint64]float64{}
+		for _, c := range pagesSweep {
+			out[c] = 0
+		}
+		return out
+	}
+	n := len(t.Records)
+	bit := newFenwick(n)
+	lastAt := make(map[mem.PageNum]int, 1024)
+
+	// distances[d] counts accesses with stack distance exactly d+1;
+	// cold counts first touches.
+	distCounts := make(map[int]int)
+	cold := 0
+	for i, r := range t.Records {
+		p := r.Page()
+		if prev, seen := lastAt[p]; seen {
+			// Distinct pages touched strictly between prev and i, plus
+			// the page itself, is the LRU stack depth at reuse.
+			d := bit.rangeSum(prev+1, i-1) + 1
+			distCounts[d]++
+			bit.add(prev, -1)
+		} else {
+			cold++
+		}
+		bit.add(i, 1)
+		lastAt[p] = i
+	}
+
+	// Sort distances once; a capacity C hits when distance <= C.
+	ds := make([]int, 0, len(distCounts))
+	for d := range distCounts {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	out := make(map[uint64]float64, len(pagesSweep))
+	for _, c := range pagesSweep {
+		hits := 0
+		for _, d := range ds {
+			if uint64(d) <= c {
+				hits += distCounts[d]
+			}
+		}
+		out[c] = 1 - float64(hits)/float64(n)
+	}
+	return out
+}
+
+// HottestPages returns the k most-touched pages with their access counts,
+// descending.
+func HottestPages(t *Trace, k int) []PageCount {
+	counts := make(map[mem.PageNum]int)
+	for _, r := range t.Records {
+		counts[r.Page()]++
+	}
+	out := make([]PageCount, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PageCount{Page: p, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Page < out[j].Page
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// PageCount pairs a page with its access count.
+type PageCount struct {
+	Page  mem.PageNum
+	Count int
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("trace{%d accesses, %d jobs, %d pages, %.1f%% writes, top-decile %.1f%%}",
+		s.Accesses, s.Jobs, s.DistinctPages, s.WriteFraction*100, s.TopDecileShare*100)
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"astriflash/internal/mem"
+)
+
+// bpNode is one B+-tree node occupying a full 4 KB arena page, so each
+// level of a traversal is one page access — the layout in-memory
+// databases (Silo, Masstree's layer trees, the TATP/TPC-C indexes) use.
+type bpNode struct {
+	addr     mem.Addr
+	leaf     bool
+	keys     []uint64
+	children []*bpNode // internal nodes
+	vals     []uint64  // leaves
+	next     *bpNode   // leaf chain for scans
+}
+
+// BPTree is a B+-tree with page-sized, arena-addressed nodes and traced
+// traversals.
+type BPTree struct {
+	root   *bpNode
+	arena  *mem.Arena
+	fanout int
+	size   uint64
+	height int
+}
+
+// NewBPTree returns an empty tree. Fanout is the max keys per node; 256
+// eight-byte keys plus pointers fill a 4 KB page.
+func NewBPTree(arena *mem.Arena, fanout int) *BPTree {
+	if fanout < 4 {
+		panic(fmt.Sprintf("workload: B+tree fanout %d too small", fanout))
+	}
+	t := &BPTree{arena: arena, fanout: fanout, height: 1}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *BPTree) newNode(leaf bool) *bpNode {
+	return &bpNode{addr: t.arena.AllocPage(), leaf: leaf}
+}
+
+// Size returns the number of stored keys.
+func (t *BPTree) Size() uint64 { return t.size }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *BPTree) Height() int { return t.height }
+
+// findChild returns the child index to descend for key.
+func findChild(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// Get searches for key, tracing one access per level.
+func (t *BPTree) Get(key uint64, tr *Tracer) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		tr.Touch(n.addr, false)
+		n = n.children[findChild(n.keys, key)]
+	}
+	tr.Touch(n.addr, false)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Update overwrites an existing key's value, tracing the path and the
+// leaf write. It reports whether the key existed.
+func (t *BPTree) Update(key, val uint64, tr *Tracer) bool {
+	n := t.root
+	for !n.leaf {
+		tr.Touch(n.addr, false)
+		n = n.children[findChild(n.keys, key)]
+	}
+	tr.Touch(n.addr, false)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		n.vals[i] = val
+		tr.Touch(n.addr, true)
+		return true
+	}
+	return false
+}
+
+// Scan reads up to count consecutive keys starting at key, tracing the
+// descent and each leaf page touched. It returns the values read.
+func (t *BPTree) Scan(key uint64, count int, tr *Tracer) []uint64 {
+	n := t.root
+	for !n.leaf {
+		tr.Touch(n.addr, false)
+		n = n.children[findChild(n.keys, key)]
+	}
+	var out []uint64
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	tr.Touch(n.addr, false)
+	for n != nil && len(out) < count {
+		for ; i < len(n.keys) && len(out) < count; i++ {
+			out = append(out, n.vals[i])
+		}
+		n = n.next
+		i = 0
+		if n != nil && len(out) < count {
+			tr.Touch(n.addr, false)
+		}
+	}
+	return out
+}
+
+// Insert adds or overwrites key, tracing the path, leaf write, and any
+// splits.
+func (t *BPTree) Insert(key, val uint64, tr *Tracer) {
+	promoted, newChild := t.insert(t.root, key, val, tr)
+	if newChild != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = []uint64{promoted}
+		newRoot.children = []*bpNode{t.root, newChild}
+		t.root = newRoot
+		t.height++
+		tr.Touch(newRoot.addr, true)
+	}
+}
+
+// insert descends recursively; on split it returns the promoted separator
+// key and the new right sibling.
+func (t *BPTree) insert(n *bpNode, key, val uint64, tr *Tracer) (uint64, *bpNode) {
+	tr.Touch(n.addr, false)
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			tr.Touch(n.addr, true)
+			return 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		t.size++
+		tr.Touch(n.addr, true)
+		if len(n.keys) <= t.fanout {
+			return 0, nil
+		}
+		return t.splitLeaf(n, tr)
+	}
+	ci := findChild(n.keys, key)
+	promoted, newChild := t.insert(n.children[ci], key, val, tr)
+	if newChild == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	tr.Touch(n.addr, true)
+	if len(n.keys) <= t.fanout {
+		return 0, nil
+	}
+	return t.splitInternal(n, tr)
+}
+
+func (t *BPTree) splitLeaf(n *bpNode, tr *Tracer) (uint64, *bpNode) {
+	mid := len(n.keys) / 2
+	right := t.newNode(true)
+	right.keys = append(right.keys, n.keys[mid:]...)
+	right.vals = append(right.vals, n.vals[mid:]...)
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	right.next = n.next
+	n.next = right
+	tr.Touch(n.addr, true)
+	tr.Touch(right.addr, true)
+	return right.keys[0], right
+}
+
+func (t *BPTree) splitInternal(n *bpNode, tr *Tracer) (uint64, *bpNode) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := t.newNode(false)
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	tr.Touch(n.addr, true)
+	tr.Touch(right.addr, true)
+	return promoted, right
+}
+
+// CheckInvariants validates sortedness, fanout bounds, and leaf-chain
+// order. It returns "" when consistent.
+func (t *BPTree) CheckInvariants() string {
+	msg := t.check(t.root, nil, nil)
+	if msg != "" {
+		return msg
+	}
+	// Leaf chain must be globally sorted.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	prev := uint64(0)
+	first := true
+	for ; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if !first && k <= prev {
+				return "leaf chain out of order"
+			}
+			prev, first = k, false
+		}
+	}
+	return ""
+}
+
+func (t *BPTree) check(n *bpNode, lo, hi *uint64) string {
+	if len(n.keys) > t.fanout {
+		return "node over fanout"
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return "keys unsorted"
+		}
+	}
+	for _, k := range n.keys {
+		if lo != nil && k < *lo {
+			return "key below subtree bound"
+		}
+		if hi != nil && k >= *hi {
+			return "key above subtree bound"
+		}
+	}
+	if n.leaf {
+		if len(n.vals) != len(n.keys) {
+			return "leaf vals/keys mismatch"
+		}
+		return ""
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return "internal children/keys mismatch"
+	}
+	for i, c := range n.children {
+		var clo, chi *uint64
+		if i > 0 {
+			clo = &n.keys[i-1]
+		} else {
+			clo = lo
+		}
+		if i < len(n.keys) {
+			chi = &n.keys[i]
+		} else {
+			chi = hi
+		}
+		if msg := t.check(c, clo, chi); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}

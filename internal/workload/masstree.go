@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+)
+
+func init() { register("masstree", func(cfg Config) Workload { return NewMasstreeWorkload(cfg) }) }
+
+// Masstree is a trie of B+-trees (Mao et al., EuroSys'12; the Tailbench
+// masstree workload the paper ports): keys are byte strings consumed
+// eight bytes per layer, each layer a B+-tree whose values either hold
+// data or point at the next layer's tree. Long keys therefore chase
+// through multiple tree descents — the deepest pointer-chasing pattern in
+// the suite.
+type Masstree struct {
+	arena *mem.Arena
+	root  *mtLayer
+	size  uint64
+}
+
+type mtLayer struct {
+	tree *BPTree
+	// next maps an 8-byte slice value to the deeper layer handling keys
+	// that share it.
+	next map[uint64]*mtLayer
+	// vals holds terminal values for keys ending at this layer.
+	vals map[uint64]uint64
+}
+
+// NewMasstree returns an empty trie.
+func NewMasstree(arena *mem.Arena) *Masstree {
+	return &Masstree{arena: arena, root: newMTLayer(arena)}
+}
+
+func newMTLayer(arena *mem.Arena) *mtLayer {
+	return &mtLayer{tree: NewBPTree(arena, 256), next: make(map[uint64]*mtLayer), vals: make(map[uint64]uint64)}
+}
+
+// Size returns the number of stored keys.
+func (m *Masstree) Size() uint64 { return m.size }
+
+// slices splits a key into 8-byte big-endian slices.
+func slices(key []byte) []uint64 {
+	var out []uint64
+	for i := 0; i < len(key); i += 8 {
+		var buf [8]byte
+		copy(buf[:], key[i:])
+		out = append(out, binary.BigEndian.Uint64(buf[:]))
+	}
+	if len(out) == 0 {
+		out = []uint64{0}
+	}
+	return out
+}
+
+// Put inserts key with the given value, creating deeper layers as needed.
+func (m *Masstree) Put(key []byte, val uint64, tr *Tracer) {
+	ss := slices(key)
+	layer := m.root
+	for i, s := range ss {
+		last := i == len(ss)-1
+		if last {
+			if _, exists := layer.vals[s]; !exists {
+				m.size++
+			}
+			layer.vals[s] = val
+			layer.tree.Insert(s, val, tr)
+			return
+		}
+		// Ensure the slice exists in this layer's tree and descend.
+		if _, ok := layer.next[s]; !ok {
+			layer.tree.Insert(s, uint64(len(layer.next)+1), tr)
+			layer.next[s] = newMTLayer(m.arena)
+		} else {
+			layer.tree.Get(s, tr)
+		}
+		layer = layer.next[s]
+	}
+}
+
+// Get looks key up, descending one B+-tree per 8-byte slice.
+func (m *Masstree) Get(key []byte, tr *Tracer) (uint64, bool) {
+	ss := slices(key)
+	layer := m.root
+	for i, s := range ss {
+		last := i == len(ss)-1
+		if _, ok := layer.tree.Get(s, tr); !ok {
+			return 0, false
+		}
+		if last {
+			v, ok := layer.vals[s]
+			return v, ok
+		}
+		nxt, ok := layer.next[s]
+		if !ok {
+			return 0, false
+		}
+		layer = nxt
+	}
+	return 0, false
+}
+
+// Update overwrites an existing key's value.
+func (m *Masstree) Update(key []byte, val uint64, tr *Tracer) bool {
+	ss := slices(key)
+	layer := m.root
+	for i, s := range ss {
+		last := i == len(ss)-1
+		if last {
+			if _, ok := layer.vals[s]; !ok {
+				return false
+			}
+			layer.vals[s] = val
+			return layer.tree.Update(s, val, tr)
+		}
+		if _, ok := layer.tree.Get(s, tr); !ok {
+			return false
+		}
+		nxt, ok := layer.next[s]
+		if !ok {
+			return false
+		}
+		layer = nxt
+	}
+	return false
+}
+
+// MasstreeWorkload drives 16-byte-key traffic (two layers) with a
+// read-mostly mix.
+type MasstreeWorkload struct {
+	cfg      Config
+	trie     *Masstree
+	arena    *mem.Arena
+	keys     uint64
+	prefixes uint64
+	zipf     sampler
+	rng      *sim.RNG
+}
+
+// NewMasstreeWorkload builds the trie over the configured dataset. Keys
+// are 16 bytes: the first 8 bytes take one of 1024 prefixes (so layer-2
+// trees grow deep), the last 8 bytes are unique.
+func NewMasstreeWorkload(cfg Config) *MasstreeWorkload {
+	arena := mem.NewArena(0, cfg.DatasetBytes)
+	// Measured footprint is ~56 B of tree per key plus one root page per
+	// layer-2 tree; budget 96 B per key and ~4 K keys per prefix so the
+	// layer-2 trees are deep.
+	keys := cfg.DatasetBytes / 96
+	if keys < 1024 {
+		keys = 1024
+	}
+	prefixes := keys / 4096
+	if prefixes < 16 {
+		prefixes = 16
+	}
+	if prefixes > 1024 {
+		prefixes = 1024
+	}
+	mt := NewMasstree(arena)
+	sink := NewTracer(1)
+	for i := uint64(0); i < keys; i++ {
+		mt.Put(mtKeyN(i, prefixes), i, sink)
+		if sink.Len() > 1<<16 {
+			sink.Take()
+		}
+	}
+	sink.Take()
+	rng := newRNG(cfg, 0x3a55)
+	return &MasstreeWorkload{
+		cfg:      cfg,
+		trie:     mt,
+		arena:    arena,
+		keys:     keys,
+		prefixes: prefixes,
+		// Scrambled suffixes scatter hot keys across layer-2 leaves.
+		zipf: newSampler(cfg, rng, keys, hotPageBudget(cfg)/3+1),
+		rng:  rng,
+	}
+}
+
+// mtKeyN builds the 16-byte key for index i: prefixes shared 8-byte
+// prefixes, unique suffix.
+func mtKeyN(i, prefixes uint64) []byte {
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[:8], scrambleKey(i)%prefixes)
+	binary.BigEndian.PutUint64(k[8:], scrambleKey(i))
+	return k[:]
+}
+
+// mtKey is mtKeyN with the default 1024 prefixes (kept for tests and
+// examples).
+func mtKey(i uint64) []byte { return mtKeyN(i, 1024) }
+
+// Name implements Workload.
+func (w *MasstreeWorkload) Name() string { return "masstree" }
+
+// DatasetPages implements Workload.
+func (w *MasstreeWorkload) DatasetPages() uint64 { return w.arena.Pages() }
+
+// Trie exposes the structure for tests.
+func (w *MasstreeWorkload) Trie() *Masstree { return w.trie }
+
+// NewJob performs OpsPerJob operations.
+func (w *MasstreeWorkload) NewJob() Job {
+	tr := NewTracer(w.cfg.ComputePerAccessNs)
+	for op := 0; op < w.cfg.OpsPerJob; op++ {
+		key := mtKeyN(w.zipf.Next(), w.prefixes)
+		if w.rng.Float64() < w.cfg.WriteFraction {
+			w.trie.Update(key, w.rng.Uint64(), tr)
+		} else {
+			w.trie.Get(key, tr)
+		}
+	}
+	return Job{Steps: tr.Take()}
+}

@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+)
+
+func testArena() *mem.Arena { return mem.NewArena(0, 64<<20) }
+
+func TestRBTreeInsertLookup(t *testing.T) {
+	tree := NewRBTree(testArena())
+	tr := NewTracer(1)
+	for i := uint64(0); i < 1000; i++ {
+		tree.Insert(i*7%1000, i, tr)
+	}
+	if msg := tree.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	v, ok := tree.Lookup(7, tr)
+	if !ok || v != 1 {
+		t.Fatalf("lookup(7) = %d,%v", v, ok)
+	}
+	if _, ok := tree.Lookup(5000, tr); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestRBTreeUpdate(t *testing.T) {
+	tree := NewRBTree(testArena())
+	tr := NewTracer(1)
+	tree.Insert(10, 1, tr)
+	if !tree.Update(10, 2, tr) {
+		t.Fatal("update missed existing key")
+	}
+	if v, _ := tree.Lookup(10, tr); v != 2 {
+		t.Fatalf("value = %d after update", v)
+	}
+	if tree.Update(11, 1, tr) {
+		t.Fatal("update hit absent key")
+	}
+}
+
+func TestRBTreeTracesPointerChase(t *testing.T) {
+	tree := NewRBTree(testArena())
+	sink := NewTracer(1)
+	for i := uint64(0); i < 10000; i++ {
+		tree.Insert(scrambleKey(i), i, sink)
+	}
+	tr := NewTracer(1)
+	tree.Lookup(scrambleKey(77), tr)
+	steps := tr.Take()
+	// A 10000-key balanced tree is ~14 levels; the traversal must emit
+	// several dependent accesses, not one.
+	if len(steps) < 5 || len(steps) > 40 {
+		t.Fatalf("lookup traced %d accesses, want a pointer chase", len(steps))
+	}
+}
+
+func TestRBTreePropertyInvariants(t *testing.T) {
+	if err := quick.Check(func(keys []uint16) bool {
+		tree := NewRBTree(testArena())
+		tr := NewTracer(1)
+		seen := map[uint64]uint64{}
+		for i, k := range keys {
+			tree.Insert(uint64(k), uint64(i), tr)
+			seen[uint64(k)] = uint64(i)
+		}
+		if tree.CheckInvariants() != "" {
+			return false
+		}
+		if tree.Size() != uint64(len(seen)) {
+			return false
+		}
+		for k, v := range seen {
+			got, ok := tree.Lookup(k, tr)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTableBasics(t *testing.T) {
+	ht := NewHashTable(testArena(), 1024)
+	tr := NewTracer(1)
+	if _, ok := ht.Get(5, tr); ok {
+		t.Fatal("hit on empty table")
+	}
+	ht.Put(5, 50, tr)
+	ht.Put(5, 51, tr) // overwrite
+	v, ok := ht.Get(5, tr)
+	if !ok || v != 51 {
+		t.Fatalf("get = %d,%v", v, ok)
+	}
+	if ht.Used() != 1 {
+		t.Fatalf("used = %d", ht.Used())
+	}
+}
+
+func TestHashTableProbeChains(t *testing.T) {
+	ht := NewHashTable(testArena(), 256)
+	tr := NewTracer(1)
+	for i := uint64(0); i < 180; i++ { // ~70% load
+		ht.Put(i, i, tr)
+	}
+	if lf := ht.LoadFactor(); lf < 0.6 || lf > 0.8 {
+		t.Fatalf("load factor = %v", lf)
+	}
+	for i := uint64(0); i < 180; i++ {
+		if v, ok := ht.Get(i, tr); !ok || v != i {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+func TestHashTableFullPanics(t *testing.T) {
+	ht := NewHashTable(testArena(), 4)
+	tr := NewTracer(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("full table did not panic")
+		}
+	}()
+	for i := uint64(0); i < 10; i++ {
+		ht.Put(i, i, tr)
+	}
+}
+
+func TestBPTreeInsertGetScan(t *testing.T) {
+	tree := NewBPTree(testArena(), 8) // small fanout forces splits
+	tr := NewTracer(1)
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		tree.Insert(i*3%n, i, tr)
+	}
+	if msg := tree.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if tree.Height() < 3 {
+		t.Fatalf("height = %d; splits did not cascade", tree.Height())
+	}
+	for i := uint64(0); i < n; i += 17 {
+		if _, ok := tree.Get(i*3%n, tr); !ok {
+			t.Fatalf("lost key %d", i*3%n)
+		}
+	}
+	vals := tree.Scan(0, 10, tr)
+	if len(vals) != 10 {
+		t.Fatalf("scan returned %d values", len(vals))
+	}
+}
+
+func TestBPTreeUpdate(t *testing.T) {
+	tree := NewBPTree(testArena(), 16)
+	tr := NewTracer(1)
+	tree.Insert(42, 1, tr)
+	if !tree.Update(42, 2, tr) {
+		t.Fatal("update missed key")
+	}
+	if v, _ := tree.Get(42, tr); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+	if tree.Update(43, 9, tr) {
+		t.Fatal("update hit absent key")
+	}
+}
+
+func TestBPTreeDuplicateInsertOverwrites(t *testing.T) {
+	tree := NewBPTree(testArena(), 8)
+	tr := NewTracer(1)
+	tree.Insert(5, 1, tr)
+	tree.Insert(5, 2, tr)
+	if tree.Size() != 1 {
+		t.Fatalf("size = %d after duplicate insert", tree.Size())
+	}
+	if v, _ := tree.Get(5, tr); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestBPTreePropertyOrderAndPresence(t *testing.T) {
+	if err := quick.Check(func(keys []uint16) bool {
+		tree := NewBPTree(testArena(), 8)
+		tr := NewTracer(1)
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			tree.Insert(uint64(k), uint64(k), tr)
+			seen[uint64(k)] = true
+		}
+		if tree.CheckInvariants() != "" {
+			return false
+		}
+		for k := range seen {
+			if _, ok := tree.Get(k, tr); !ok {
+				return false
+			}
+		}
+		return tree.Size() == uint64(len(seen))
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeAccessesOnePagePerLevel(t *testing.T) {
+	tree := NewBPTree(testArena(), 8)
+	sink := NewTracer(1)
+	for i := uint64(0); i < 5000; i++ {
+		tree.Insert(i, i, sink)
+	}
+	tr := NewTracer(1)
+	tree.Get(2500, tr)
+	if tr.Len() != tree.Height() {
+		t.Fatalf("get traced %d accesses for height %d", tr.Len(), tree.Height())
+	}
+}
+
+func TestSiloOCCCommit(t *testing.T) {
+	db := NewSiloDB(testArena())
+	sink := NewTracer(1)
+	db.Load(1, 10, sink)
+	db.Load(2, 20, sink)
+	tr := NewTracer(1)
+	txn := db.Begin(tr)
+	v, ok := txn.Read(1)
+	if !ok || v != 10 {
+		t.Fatalf("read = %d,%v", v, ok)
+	}
+	txn.Write(1, v+1)
+	if v, _ := txn.Read(1); v != 11 {
+		t.Fatalf("read-your-writes = %d", v)
+	}
+	if !txn.Commit() {
+		t.Fatal("uncontended commit failed")
+	}
+	tr2 := NewTracer(1)
+	txn2 := db.Begin(tr2)
+	if v, _ := txn2.Read(1); v != 11 {
+		t.Fatalf("committed value = %d", v)
+	}
+	txn2.Abort()
+	if db.Commits != 1 || db.Aborts != 1 {
+		t.Fatalf("commits/aborts = %d/%d", db.Commits, db.Aborts)
+	}
+}
+
+func TestSiloOCCValidationAborts(t *testing.T) {
+	db := NewSiloDB(testArena())
+	sink := NewTracer(1)
+	db.Load(1, 10, sink)
+	tr := NewTracer(1)
+	t1 := db.Begin(tr)
+	t1.Read(1)
+	// A second transaction commits a write between t1's read and commit.
+	t2 := db.Begin(NewTracer(1))
+	v, _ := t2.Read(1)
+	t2.Write(1, v+100)
+	if !t2.Commit() {
+		t.Fatal("t2 commit failed")
+	}
+	t1.Write(1, 99)
+	if t1.Commit() {
+		t.Fatal("stale read validated; serializability broken")
+	}
+}
+
+func TestSiloLockedRecordBlocksCommit(t *testing.T) {
+	db := NewSiloDB(testArena())
+	db.Load(1, 10, NewTracer(1))
+	// Simulate a concurrent holder by locking the record directly.
+	db.records[1].locked = true
+	txn := db.Begin(NewTracer(1))
+	v, _ := txn.Read(1)
+	txn.Write(1, v+1)
+	if txn.Commit() {
+		t.Fatal("commit succeeded over a locked record")
+	}
+}
+
+func TestMasstreePutGet(t *testing.T) {
+	mt := NewMasstree(testArena())
+	tr := NewTracer(1)
+	key := []byte("0123456789abcdef") // 16 bytes = 2 layers
+	mt.Put(key, 7, tr)
+	v, ok := mt.Get(key, tr)
+	if !ok || v != 7 {
+		t.Fatalf("get = %d,%v", v, ok)
+	}
+	if _, ok := mt.Get([]byte("0123456789abcdeX"), tr); ok {
+		t.Fatal("found absent key sharing a prefix")
+	}
+	if mt.Size() != 1 {
+		t.Fatalf("size = %d", mt.Size())
+	}
+}
+
+func TestMasstreeLayering(t *testing.T) {
+	mt := NewMasstree(testArena())
+	// Two keys sharing an 8-byte prefix must land in the same layer-2
+	// tree; the traversal must touch both layers.
+	a := []byte("prefix__suffixA_")
+	b := []byte("prefix__suffixB_")
+	mt.Put(a, 1, NewTracer(1))
+	mt.Put(b, 2, NewTracer(1))
+	tr := NewTracer(1)
+	if v, ok := mt.Get(a, tr); !ok || v != 1 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	if tr.Len() < 2 {
+		t.Fatalf("two-layer get traced %d accesses", tr.Len())
+	}
+	if v, ok := mt.Get(b, NewTracer(1)); !ok || v != 2 {
+		t.Fatalf("b = %d,%v", v, ok)
+	}
+}
+
+func TestMasstreeUpdate(t *testing.T) {
+	mt := NewMasstree(testArena())
+	key := []byte("0123456789abcdef")
+	mt.Put(key, 1, NewTracer(1))
+	if !mt.Update(key, 5, NewTracer(1)) {
+		t.Fatal("update missed key")
+	}
+	if v, _ := mt.Get(key, NewTracer(1)); v != 5 {
+		t.Fatalf("value = %d", v)
+	}
+	if mt.Update([]byte("nosuchkey_______"), 1, NewTracer(1)) {
+		t.Fatal("update hit absent key")
+	}
+}
+
+func TestMasstreeShortAndEmptyKeys(t *testing.T) {
+	mt := NewMasstree(testArena())
+	mt.Put([]byte("ab"), 3, NewTracer(1))
+	if v, ok := mt.Get([]byte("ab"), NewTracer(1)); !ok || v != 3 {
+		t.Fatalf("short key = %d,%v", v, ok)
+	}
+	mt.Put(nil, 9, NewTracer(1))
+	if v, ok := mt.Get(nil, NewTracer(1)); !ok || v != 9 {
+		t.Fatalf("empty key = %d,%v", v, ok)
+	}
+}
+
+func TestMasstreePropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		rng := sim.NewRNG(seed)
+		mt := NewMasstree(testArena())
+		keys := make(map[string]uint64)
+		for i := 0; i < int(n%64)+1; i++ {
+			k := mtKey(rng.Uint64() % 1000)
+			v := rng.Uint64()
+			mt.Put(k, v, NewTracer(1))
+			keys[string(k)] = v
+		}
+		for k, v := range keys {
+			got, ok := mt.Get([]byte(k), NewTracer(1))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return mt.Size() == uint64(len(keys))
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"astriflash/internal/mem"
+	"astriflash/internal/sim"
+)
+
+func init() { register("tatp", func(cfg Config) Workload { return NewTATP(cfg) }) }
+
+// TATP implements the Telecom Application Transaction Processing
+// benchmark's core tables and transaction mix over B+-tree indexes:
+// Subscriber, Access_Info, and Special_Facility keyed by subscriber id.
+// TATP transactions are short (~10 us, paper Section VI-C uses it for the
+// tail-latency study) and read-dominated (80/20 per the standard mix).
+type TATP struct {
+	cfg         Config
+	arena       *mem.Arena
+	subscribers *BPTree
+	accessInfo  *BPTree
+	specialFac  *BPTree
+	subs        uint64
+	zipf        sampler
+	rng         *sim.RNG
+}
+
+// NewTATP builds the database sized to the configured dataset: roughly
+// one subscriber row plus 2.5 auxiliary rows per 4 records of page
+// footprint.
+func NewTATP(cfg Config) *TATP {
+	arena := mem.NewArena(0, cfg.DatasetBytes)
+	// Each subscriber contributes ~3.5 tree entries; leaves average ~70%
+	// fill (~150 entries per page). Budget pages so the arena holds all
+	// three trees with internal-node slack.
+	subs := cfg.DatasetBytes / 4096 * 150 / 5
+	if subs < 1024 {
+		subs = 1024
+	}
+	t := &TATP{
+		cfg:         cfg,
+		arena:       arena,
+		subscribers: NewBPTree(arena, 256),
+		accessInfo:  NewBPTree(arena, 256),
+		specialFac:  NewBPTree(arena, 256),
+		subs:        subs,
+	}
+	sink := NewTracer(1)
+	rng := newRNG(cfg, 0x7a79)
+	for s := uint64(0); s < subs; s++ {
+		t.subscribers.Insert(s, rng.Uint64(), sink)
+		// 1-4 access-info rows per subscriber in real TATP; model 2.
+		t.accessInfo.Insert(s*4, rng.Uint64(), sink)
+		t.accessInfo.Insert(s*4+1, rng.Uint64(), sink)
+		// One special-facility row in two.
+		if s%2 == 0 {
+			t.specialFac.Insert(s, rng.Uint64(), sink)
+		}
+		if sink.Len() > 1<<16 {
+			sink.Take()
+		}
+	}
+	sink.Take()
+	// Subscriber ids key the trees directly, so hot subscribers occupy
+	// contiguous leaves (~50 effective items per hot page across the
+	// three tables).
+	t.zipf = newSampler(cfg, rng, subs, hotPageBudget(cfg)*20)
+	t.rng = rng
+	return t
+}
+
+// Name implements Workload.
+func (t *TATP) Name() string { return "tatp" }
+
+// DatasetPages implements Workload.
+func (t *TATP) DatasetPages() uint64 { return t.arena.Pages() }
+
+// Subscribers returns the subscriber count, for tests.
+func (t *TATP) Subscribers() uint64 { return t.subs }
+
+// NewJob runs one TATP transaction drawn from the standard mix:
+//
+//	35% GET_SUBSCRIBER_DATA, 35% GET_ACCESS_DATA, 10% GET_NEW_DESTINATION,
+//	14% UPDATE_LOCATION, 2% UPDATE_SUBSCRIBER_DATA, 4% forwarding ops
+//	(modeled as special-facility updates; the real insert/delete pair has
+//	the same access shape).
+func (t *TATP) NewJob() Job {
+	tr := NewTracer(t.cfg.ComputePerAccessNs)
+	for op := 0; op < t.cfg.OpsPerJob; op++ {
+		s := t.zipf.Next()
+		switch p := t.rng.Float64(); {
+		case p < 0.35: // GET_SUBSCRIBER_DATA
+			t.subscribers.Get(s, tr)
+		case p < 0.70: // GET_ACCESS_DATA
+			t.accessInfo.Get(s*4+uint64(t.rng.Intn(2)), tr)
+		case p < 0.80: // GET_NEW_DESTINATION
+			t.specialFac.Get(s&^1, tr)
+			t.accessInfo.Get((s&^1)*4, tr)
+		case p < 0.94: // UPDATE_LOCATION
+			t.subscribers.Update(s, t.rng.Uint64(), tr)
+		case p < 0.96: // UPDATE_SUBSCRIBER_DATA
+			t.subscribers.Update(s, t.rng.Uint64(), tr)
+			t.specialFac.Update(s&^1, t.rng.Uint64(), tr)
+		default: // INSERT/DELETE_CALL_FORWARDING shape
+			t.specialFac.Update(s&^1, t.rng.Uint64(), tr)
+		}
+	}
+	return Job{Steps: tr.Take()}
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"testing"
+
+	"astriflash/internal/mem"
+)
+
+// smallConfig keeps dataset builds fast in unit tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DatasetBytes = 4 << 20
+	return cfg
+}
+
+func TestRegistryHasAllPaperWorkloads(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("got %d workloads, want the paper's 7", len(names))
+	}
+	for _, n := range names {
+		w, err := New(n, smallConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if w.Name() != n {
+			t.Fatalf("%s reports name %q", n, w.Name())
+		}
+	}
+}
+
+func TestNewUnknownWorkload(t *testing.T) {
+	if _, err := New("nope", smallConfig()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.DatasetBytes = 0 },
+		func(c *Config) { c.ZipfTheta = 0 },
+		func(c *Config) { c.ZipfTheta = 1.2 },
+		func(c *Config) { c.ComputePerAccessNs = 0 },
+		func(c *Config) { c.OpsPerJob = 0 },
+		func(c *Config) { c.WriteFraction = -0.1 },
+		func(c *Config) { c.WriteFraction = 1.1 },
+	}
+	for i, mutate := range bads {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if err := smallConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryWorkloadEmitsValidJobs(t *testing.T) {
+	for _, n := range Names() {
+		n := n
+		t.Run(n, func(t *testing.T) {
+			w, err := New(n, smallConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			limit := w.DatasetPages()
+			if limit == 0 {
+				t.Fatal("zero dataset")
+			}
+			for j := 0; j < 50; j++ {
+				job := w.NewJob()
+				if len(job.Steps) == 0 {
+					t.Fatal("empty job")
+				}
+				for _, s := range job.Steps {
+					if s.ComputeNs <= 0 {
+						t.Fatalf("non-positive compute %d", s.ComputeNs)
+					}
+					if uint64(s.Access.Page()) >= limit {
+						t.Fatalf("access page %d beyond dataset %d pages",
+							s.Access.Page(), limit)
+					}
+				}
+				if job.TotalCompute() <= 0 {
+					t.Fatal("job has no compute")
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsAreSkewed(t *testing.T) {
+	// Every workload must concentrate accesses: the hottest 10% of pages
+	// should take well over 10% of accesses (Zipfian skew drives the
+	// whole design).
+	for _, n := range Names() {
+		w, err := New(n, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[mem.PageNum]int{}
+		total := 0
+		for j := 0; j < 400; j++ {
+			for _, s := range w.NewJob().Steps {
+				counts[s.Access.Page()]++
+				total++
+			}
+		}
+		// Top-10%-of-touched-pages share.
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		// selection: sum the top decile.
+		top := len(freqs) / 10
+		if top == 0 {
+			top = 1
+		}
+		sortInts(freqs)
+		hot := 0
+		for _, c := range freqs[len(freqs)-top:] {
+			hot += c
+		}
+		share := float64(hot) / float64(total)
+		if share < 0.3 {
+			t.Fatalf("%s: hottest decile of touched pages got %.2f of accesses; no skew", n, share)
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func TestJobsAreDeterministicPerSeed(t *testing.T) {
+	for _, n := range Names() {
+		a, _ := New(n, smallConfig())
+		b, _ := New(n, smallConfig())
+		for j := 0; j < 10; j++ {
+			ja, jb := a.NewJob(), b.NewJob()
+			if len(ja.Steps) != len(jb.Steps) {
+				t.Fatalf("%s: job %d lengths differ", n, j)
+			}
+			for i := range ja.Steps {
+				if ja.Steps[i] != jb.Steps[i] {
+					t.Fatalf("%s: job %d step %d differs", n, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTracerComputeAttachment(t *testing.T) {
+	tr := NewTracer(10)
+	tr.Compute(100) // compute before any access becomes its own step
+	tr.Touch(0x40, false)
+	tr.Compute(50)
+	steps := tr.Take()
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].ComputeNs != 100 {
+		t.Fatalf("leading compute = %d", steps[0].ComputeNs)
+	}
+	if steps[1].ComputeNs != 60 {
+		t.Fatalf("attached compute = %d, want 10+50", steps[1].ComputeNs)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Take did not reset")
+	}
+}
+
+func TestTracerInvalidCompute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero compute-per-access did not panic")
+		}
+	}()
+	NewTracer(0)
+}
+
+func TestTPCCIsMostComputeIntensive(t *testing.T) {
+	// The paper singles TPCC out as the most computationally intensive
+	// workload (Section VI-A); its per-access compute must exceed the
+	// others'.
+	tp, _ := New("tpcc", smallConfig())
+	ar, _ := New("arrayswap", smallConfig())
+	meanCompute := func(w Workload) float64 {
+		var total, n int64
+		for j := 0; j < 100; j++ {
+			job := w.NewJob()
+			total += job.TotalCompute()
+			n += int64(len(job.Steps))
+		}
+		return float64(total) / float64(n)
+	}
+	if meanCompute(tp) <= meanCompute(ar) {
+		t.Fatal("tpcc not more compute-intensive than arrayswap")
+	}
+}
+
+func TestDatasetScalesWithConfig(t *testing.T) {
+	small := smallConfig()
+	big := smallConfig()
+	big.DatasetBytes = 16 << 20
+	for _, n := range []string{"arrayswap", "silo", "tatp"} {
+		ws, _ := New(n, small)
+		wb, _ := New(n, big)
+		if wb.DatasetPages() <= ws.DatasetPages() {
+			t.Fatalf("%s: dataset did not scale (%d vs %d pages)",
+				n, ws.DatasetPages(), wb.DatasetPages())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package astriflash
+
+import (
+	"fmt"
+	"io"
+
+	"astriflash/internal/mem"
+	"astriflash/internal/system"
+	"astriflash/internal/trace"
+	"astriflash/internal/workload"
+)
+
+// Trace is a captured memory-access stream: the raw material of every
+// experiment. Traces serialize compactly, analyze without simulation
+// (exact LRU miss curves via stack distances), and replay through any
+// system configuration.
+type Trace struct {
+	t     *trace.Trace
+	pages uint64
+}
+
+// CaptureTrace runs the named workload for jobs requests and records its
+// access stream.
+func CaptureTrace(workloadName string, o Options, jobs int) (*Trace, error) {
+	if jobs <= 0 {
+		return nil, fmt.Errorf("astriflash: jobs must be positive")
+	}
+	o.Workload = workloadName
+	cfg, err := o.build()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.New(cfg.WorkloadName, cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: trace.Capture(w, jobs), pages: w.DatasetPages()}, nil
+}
+
+// Accesses returns the number of recorded references.
+func (t *Trace) Accesses() int { return len(t.t.Records) }
+
+// Jobs returns the number of recorded requests.
+func (t *Trace) Jobs() int { return t.t.Jobs() }
+
+// DatasetPages returns the page footprint the trace was captured against.
+func (t *Trace) DatasetPages() uint64 { return t.pages }
+
+// Save serializes the trace.
+func (t *Trace) Save(w io.Writer) error { return t.t.Write(w) }
+
+// ReadTrace deserializes a trace; datasetPages must cover its addresses.
+func ReadTrace(r io.Reader, datasetPages uint64) (*Trace, error) {
+	tr, err := trace.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := trace.NewReplayer(tr, datasetPages); err != nil {
+		return nil, err
+	}
+	return &Trace{t: tr, pages: datasetPages}, nil
+}
+
+// MissCurve returns the exact fully-associative LRU miss ratio the trace
+// would see at each DRAM-cache capacity fraction — Figure 1 computed
+// analytically from stack distances, no simulation needed.
+func (t *Trace) MissCurve(fractions []float64) map[float64]float64 {
+	sweep := make([]uint64, 0, len(fractions))
+	byPages := make(map[uint64]float64, len(fractions))
+	for _, f := range fractions {
+		c := uint64(f * float64(t.pages))
+		if c == 0 {
+			c = 1
+		}
+		sweep = append(sweep, c)
+	}
+	curve := trace.MissCurve(t.t, sweep)
+	for c, v := range curve {
+		byPages[c] = v
+	}
+	out := make(map[float64]float64, len(fractions))
+	for _, f := range fractions {
+		c := uint64(f * float64(t.pages))
+		if c == 0 {
+			c = 1
+		}
+		out[f] = byPages[c]
+	}
+	return out
+}
+
+// ReplayMachine builds a machine whose workload replays this trace under
+// the given configuration (Mode, Cores, cache sizing from o; the
+// workload generator is the trace itself).
+func (t *Trace) ReplayMachine(o Options) (*Machine, error) {
+	rep, err := trace.NewReplayer(t.t, t.pages)
+	if err != nil {
+		return nil, err
+	}
+	o.Workload = "tatp" // placeholder so build() validates; replaced below
+	cfg, err := o.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg.CustomWorkload = rep
+	sys, err := system.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}
+
+// PageOf re-exports page arithmetic for trace consumers sizing datasets.
+func PageOf(addr uint64) uint64 { return uint64(mem.PageOf(mem.Addr(addr))) }

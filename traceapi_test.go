@@ -1,0 +1,88 @@
+package astriflash
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCaptureTraceAndAnalyze(t *testing.T) {
+	o := DefaultOptions(AstriFlash, "tatp")
+	o.DatasetBytes = 8 << 20
+	tr, err := CaptureTrace("tatp", o, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs() != 200 || tr.Accesses() == 0 {
+		t.Fatalf("trace shape: %d jobs, %d accesses", tr.Jobs(), tr.Accesses())
+	}
+	if tr.DatasetPages() == 0 {
+		t.Fatal("no dataset footprint")
+	}
+	curve := tr.MissCurve([]float64{0.01, 0.03, 0.08})
+	if curve[0.01] < curve[0.03] {
+		t.Fatalf("miss curve not decreasing: %v", curve)
+	}
+	if curve[0.03] < 0 || curve[0.03] > 1 {
+		t.Fatalf("miss ratio out of range: %v", curve)
+	}
+}
+
+func TestCaptureTraceValidation(t *testing.T) {
+	o := DefaultOptions(AstriFlash, "tatp")
+	if _, err := CaptureTrace("tatp", o, 0); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if _, err := CaptureTrace("nope", o, 10); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTraceSerializeAndReplay(t *testing.T) {
+	o := DefaultOptions(AstriFlash, "silo")
+	o.DatasetBytes = 8 << 20
+	tr, err := CaptureTrace("silo", o, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTrace(&buf, tr.DatasetPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Accesses() != tr.Accesses() {
+		t.Fatal("round trip lost records")
+	}
+
+	// Replay the trace through a full AstriFlash machine.
+	ro := DefaultOptions(AstriFlash, "")
+	ro.Cores = 4
+	m, err := loaded.ReplayMachine(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.RunSaturated(16, 2_000_000, 6_000_000)
+	if res.Jobs == 0 {
+		t.Fatal("replay completed no jobs")
+	}
+	if res.Workload != "trace-replay" {
+		t.Fatalf("workload label = %q", res.Workload)
+	}
+	if res.FlashReads == 0 {
+		t.Fatal("replay never touched flash under AstriFlash")
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("garbage")), 100); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPageOfHelper(t *testing.T) {
+	if PageOf(4096) != 1 || PageOf(4095) != 0 {
+		t.Fatal("PageOf arithmetic wrong")
+	}
+}
