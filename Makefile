@@ -1,0 +1,40 @@
+# AstriFlash reproduction — build and verify tiers.
+#
+# Tier 1 (`make verify`) is the gate every change must keep green.
+# Tier 2 (`make verify-race`) adds vet and the race detector; the sweep
+# runner fans simulation points across goroutines, so the suite must stay
+# race-clean even though each simulated machine is single-threaded.
+
+GO ?= go
+
+.PHONY: build test verify vet race verify-race bench bench-engine figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## Tier-1 verify: what CI and every PR must pass.
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+## Tier-2 verify: vet + race detector over the whole tree.
+verify-race: vet race
+
+## Engine/stats microbenchmarks (allocation counts included).
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkHistogram' -benchmem ./internal/sim ./internal/stats
+
+## The full figure-suite benchmark harness.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+## Regenerate every paper figure/table via cmd/astribench.
+figures:
+	$(GO) run ./cmd/astribench

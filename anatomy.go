@@ -1,6 +1,10 @@
 package astriflash
 
-import "fmt"
+import (
+	"fmt"
+
+	"astriflash/internal/runner"
+)
 
 // BucketShare is one latency-attribution bucket's share of total request
 // time.
@@ -37,16 +41,14 @@ func Anatomy(cfg ExpConfig, workloadName string, modes []Mode) ([]AnatomyRow, er
 	if modes == nil {
 		modes = []Mode{DRAMOnly, AstriFlash, OSSwap, FlashSync}
 	}
-	var rows []AnatomyRow
-	for _, mode := range modes {
-		m, err := NewMachine(cfg.options(mode, workloadName))
+	return runner.Map(len(modes), cfg.workers(), func(i int) (AnatomyRow, error) {
+		m, err := NewMachine(cfg.optionsAt(i, modes[i], workloadName))
 		if err != nil {
-			return nil, err
+			return AnatomyRow{}, err
 		}
 		m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
-		rows = append(rows, AnatomyRow{Config: mode.String(), Shares: m.LatencyBreakdown()})
-	}
-	return rows, nil
+		return AnatomyRow{Config: modes[i].String(), Shares: m.LatencyBreakdown()}, nil
+	})
 }
 
 // RenderAnatomy formats anatomy rows as a percentage table.

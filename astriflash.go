@@ -19,6 +19,7 @@ package astriflash
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"astriflash/internal/dramcache"
 	"astriflash/internal/system"
@@ -271,6 +272,15 @@ func fromResult(r system.Result) Metrics {
 	}
 }
 
+// simRuns counts completed simulation points process-wide (each Machine
+// run is one point). cmd/astribench reports it as points/sec so sweep
+// parallelism is visible.
+var simRuns atomic.Uint64
+
+// SimRuns returns the number of simulation points this process has
+// completed so far. It is safe to read concurrently with running sweeps.
+func SimRuns() uint64 { return simRuns.Load() }
+
 // Machine is one assembled simulated system.
 type Machine struct {
 	sys *system.System
@@ -295,6 +305,7 @@ func NewMachine(o Options) (*Machine, error) {
 // inflight requests outstanding per core, for warmupNs of cache warming
 // followed by a measureNs window.
 func (m *Machine) RunSaturated(inflight int, warmupNs, measureNs int64) Metrics {
+	defer simRuns.Add(1)
 	return fromResult(m.sys.RunClosedLoop(inflight, warmupNs, measureNs))
 }
 
@@ -302,6 +313,7 @@ func (m *Machine) RunSaturated(inflight int, warmupNs, measureNs int64) Metrics 
 // given mean inter-arrival gap (nanoseconds, across the whole machine) —
 // the paper's tail-latency methodology (Figure 10).
 func (m *Machine) RunPoisson(meanGapNs float64, warmupNs, measureNs int64) Metrics {
+	defer simRuns.Add(1)
 	return fromResult(m.sys.RunOpenLoop(meanGapNs, warmupNs, measureNs))
 }
 

@@ -27,13 +27,17 @@ import (
 
 // benchExp sizes experiment runs for the benchmark harness: large enough
 // for stable shapes, small enough that the full suite finishes in
-// minutes.
+// minutes. Sweep points fan out across the runner's worker pool (all
+// cores by default; ASTRIFLASH_WORKERS pins it), and results are
+// identical at any worker count, so parallelism never perturbs the
+// reported figures — only the wall clock.
 func benchExp() ExpConfig {
 	cfg := DefaultExpConfig()
 	cfg.Cores = 8
 	cfg.DatasetBytes = 32 << 20
 	cfg.WarmupNs = 8_000_000
 	cfg.MeasureNs = 16_000_000
+	cfg.Workers = 0 // auto: one worker per CPU
 	return cfg
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"astriflash"
+	"astriflash/internal/runner"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
 		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = auto: ASTRIFLASH_WORKERS, then NumCPU); results are identical for any value")
 		plot      = flag.Bool("plot", false, "render fig3/fig10 as ASCII charts too")
 	)
 	flag.Parse()
@@ -36,6 +38,7 @@ func main() {
 	cfg.Cores = *cores
 	cfg.DatasetBytes = *datasetMB << 20
 	cfg.MeasureNs = *measureMs * 1_000_000
+	cfg.Workers = *workers
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -130,6 +133,7 @@ func main() {
 	}
 
 	ran := 0
+	suiteStart := time.Now()
 	for _, e := range experiments {
 		if !want(e.name) {
 			continue
@@ -148,4 +152,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
 	}
+	wall := time.Since(suiteStart).Seconds()
+	points := astriflash.SimRuns()
+	rate := 0.0
+	if wall > 0 {
+		rate = float64(points) / wall
+	}
+	fmt.Printf("total: %d simulation points in %.1fs wall time (%.1f points/sec, workers=%d)\n",
+		points, wall, rate, runner.Workers(*workers))
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"astriflash/internal/runner"
 	"astriflash/internal/stats"
 )
 
@@ -18,6 +19,12 @@ type ExpConfig struct {
 	WarmupNs     int64 // cache-warming window, excluded from statistics
 	MeasureNs    int64 // measurement window
 	Seed         uint64
+	// Workers bounds sweep parallelism: independent simulation points fan
+	// out across this many goroutines. 0 means auto (ASTRIFLASH_WORKERS,
+	// then NumCPU). Results are bit-identical for any worker count: each
+	// point's seed derives from (Seed, point index) alone, and every point
+	// runs its own single-threaded engine.
+	Workers int
 }
 
 // DefaultExpConfig returns the quick-run sizing.
@@ -45,8 +52,29 @@ func (e ExpConfig) options(mode Mode, wl string) Options {
 	return o
 }
 
+// optionsAt builds options for sweep point idx: identical to options but
+// with the point's own derived seed, the contract that keeps parallel
+// sweeps reproducible at any worker count.
+func (e ExpConfig) optionsAt(idx int, mode Mode, wl string) Options {
+	o := e.options(mode, wl)
+	o.Seed = runner.Seed(e.Seed, idx)
+	return o
+}
+
+// workers resolves the sweep's worker-pool size.
+func (e ExpConfig) workers() int { return runner.Workers(e.Workers) }
+
 func (e ExpConfig) run(mode Mode, wl string) (Metrics, error) {
 	m, err := NewMachine(e.options(mode, wl))
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.RunSaturated(e.Inflight, e.WarmupNs, e.MeasureNs), nil
+}
+
+// runPoint runs sweep point idx saturated with the derived seed.
+func (e ExpConfig) runPoint(idx int, mode Mode, wl string) (Metrics, error) {
+	m, err := NewMachine(e.optionsAt(idx, mode, wl))
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -75,27 +103,33 @@ type Fig9Row struct {
 var Fig9Modes = []Mode{DRAMOnly, AstriFlash, AstriFlashIdeal, OSSwap, FlashSync}
 
 // Fig9Throughput reproduces Figure 9 over the given workloads (nil means
-// all seven).
+// all seven). The {workload × mode} grid fans out across the worker pool;
+// normalization against DRAM-only happens after all points complete.
 func Fig9Throughput(cfg ExpConfig, workloads []string) ([]Fig9Row, error) {
 	if workloads == nil {
 		workloads = Workloads()
 	}
+	nm := len(Fig9Modes)
+	res, err := runner.Map(len(workloads)*nm, cfg.workers(), func(i int) (Metrics, error) {
+		wl, mode := workloads[i/nm], Fig9Modes[i%nm]
+		m, err := cfg.runPoint(i, mode, wl)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("fig9 %s/%s: %w", mode, wl, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
-	for _, wl := range workloads {
+	for wi, wl := range workloads {
 		row := Fig9Row{Workload: wl, Normalized: map[string]float64{}}
-		var base float64
-		for _, mode := range Fig9Modes {
-			res, err := cfg.run(mode, wl)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", mode, wl, err)
-			}
-			if mode == DRAMOnly {
-				base = res.ThroughputJPS
-			}
-			if base == 0 {
-				return nil, fmt.Errorf("fig9 %s: DRAM-only made no progress", wl)
-			}
-			row.Normalized[mode.String()] = res.ThroughputJPS / base
+		base := res[wi*nm].ThroughputJPS // Fig9Modes[0] is DRAM-only
+		if base == 0 {
+			return nil, fmt.Errorf("fig9 %s: DRAM-only made no progress", wl)
+		}
+		for mi, mode := range Fig9Modes {
+			row.Normalized[mode.String()] = res[wi*nm+mi].ThroughputJPS / base
 		}
 		rows = append(rows, row)
 	}
@@ -150,13 +184,13 @@ func Fig1MissRatioSweep(cfg ExpConfig, workloadName string, fractions []float64)
 	if fractions == nil {
 		fractions = []float64{0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12}
 	}
-	var out []Fig1Point
-	for _, f := range fractions {
-		o := cfg.options(AstriFlash, workloadName)
+	return runner.Map(len(fractions), cfg.workers(), func(i int) (Fig1Point, error) {
+		f := fractions[i]
+		o := cfg.optionsAt(i, AstriFlash, workloadName)
 		o.CacheFraction = f
 		m, err := NewMachine(o)
 		if err != nil {
-			return nil, err
+			return Fig1Point{}, err
 		}
 		res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
 		// Equation (1): BW_flash = BW_dram / blockSize * missRate * pageSize,
@@ -168,13 +202,12 @@ func Fig1MissRatioSweep(cfg ExpConfig, workloadName string, fractions []float64)
 			dramBWPerCore = float64(res.FlashReads) / res.DRAMCacheMissRatio * 64 / window / float64(cfg.Cores)
 		}
 		flashBW := dramBWPerCore / 64 * res.DRAMCacheMissRatio * 4096
-		out = append(out, Fig1Point{
+		return Fig1Point{
 			CacheFraction:    f,
 			MissRatio:        res.DRAMCacheMissRatio,
 			FlashGBpsPerCore: flashBW / 1e9,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig1 formats the sweep.
@@ -209,17 +242,20 @@ func Fig2PagingScaling(cfg ExpConfig, workloadName string, coreCounts []int) ([]
 	if coreCounts == nil {
 		coreCounts = []int{2, 4, 8, 16}
 	}
+	modes := []Mode{AstriFlash, OSSwap}
+	res, err := runner.Map(len(coreCounts)*len(modes), cfg.workers(), func(i int) (Metrics, error) {
+		c := cfg
+		c.Cores = coreCounts[i/len(modes)]
+		return c.runPoint(i, modes[i%len(modes)], workloadName)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig2Point
-	for _, n := range coreCounts {
+	for ci, n := range coreCounts {
 		pt := Fig2Point{Cores: n, PerCoreThroughput: map[string]float64{}}
-		for _, mode := range []Mode{AstriFlash, OSSwap} {
-			c := cfg
-			c.Cores = n
-			res, err := c.run(mode, workloadName)
-			if err != nil {
-				return nil, err
-			}
-			pt.PerCoreThroughput[mode.String()] = res.ThroughputJPS / float64(n)
+		for mi, mode := range modes {
+			pt.PerCoreThroughput[mode.String()] = res[ci*len(modes)+mi].ThroughputJPS / float64(n)
 		}
 		out = append(out, pt)
 	}
@@ -256,23 +292,22 @@ type Table2Row struct {
 // paper uses the microbenchmarks and TATP).
 func Table2ServiceLatency(cfg ExpConfig, workloadName string) ([]Table2Row, error) {
 	modes := []Mode{FlashSync, AstriFlash, AstriFlashNoPS, AstriFlashNoDP}
-	var base int64
+	res, err := runner.Map(len(modes), cfg.workers(), func(i int) (Metrics, error) {
+		return cfg.runPoint(i, modes[i], workloadName)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := res[0].P99ServiceNs // modes[0] is Flash-Sync
+	if base == 0 {
+		return nil, fmt.Errorf("table2: Flash-Sync recorded no latencies")
+	}
 	var rows []Table2Row
-	for _, mode := range modes {
-		res, err := cfg.run(mode, workloadName)
-		if err != nil {
-			return nil, err
-		}
-		if mode == FlashSync {
-			base = res.P99ServiceNs
-		}
-		if base == 0 {
-			return nil, fmt.Errorf("table2: Flash-Sync recorded no latencies")
-		}
+	for i, mode := range modes {
 		rows = append(rows, Table2Row{
 			Config:     mode.String(),
-			P99Service: res.P99ServiceNs,
-			Normalized: float64(res.P99ServiceNs) / float64(base),
+			P99Service: res[i].P99ServiceNs,
+			Normalized: float64(res[i].P99ServiceNs) / float64(base),
 		})
 	}
 	return rows, nil
@@ -317,9 +352,9 @@ func GCOverheadSweep(cfg ExpConfig, workloadName string) ([]GCPoint, error) {
 		{"large (1TB-class)", 8, false},
 		{"large + local GC", 8, true},
 	}
-	var out []GCPoint
-	for _, v := range variants {
-		o := cfg.options(AstriFlash, workloadName)
+	return runner.Map(len(variants), cfg.workers(), func(i int) (GCPoint, error) {
+		v := variants[i]
+		o := cfg.optionsAt(i, AstriFlash, workloadName)
 		o.WriteFraction = 0.5 // write-heavy to exercise GC
 		o.LocalGC = v.localGC
 		// Shrink the device by channel count while keeping the dataset:
@@ -335,18 +370,17 @@ func GCOverheadSweep(cfg ExpConfig, workloadName string) ([]GCPoint, error) {
 		o.FlashBlocksPerPlane = 24
 		m, err := NewMachine(o)
 		if err != nil {
-			return nil, err
+			return GCPoint{}, err
 		}
 		// GC needs sustained write churn; run 3x the normal window.
 		res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, 3*cfg.MeasureNs)
-		out = append(out, GCPoint{
+		return GCPoint{
 			Label:           v.label,
 			Planes:          m.sys.Flash().Planes(),
 			BlockedFraction: res.GCBlockedFraction,
 			GCRuns:          res.GCRuns,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderGC formats the sweep.

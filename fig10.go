@@ -3,6 +3,7 @@ package astriflash
 import (
 	"fmt"
 
+	"astriflash/internal/runner"
 	"astriflash/internal/stats"
 )
 
@@ -34,7 +35,9 @@ func Fig10TailLatency(cfg ExpConfig, loadFractions []float64) ([]Fig10Curve, err
 	}
 	const wl = "tatp"
 	// Baseline: DRAM-only saturation throughput and mean service time.
-	base, err := cfg.run(DRAMOnly, wl)
+	// Every grid point's arrival rate depends on it, so it runs first
+	// (as sweep point 0); the {mode × load} grid then fans out.
+	base, err := cfg.runPoint(0, DRAMOnly, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -44,22 +47,30 @@ func Fig10TailLatency(cfg ExpConfig, loadFractions []float64) ([]Fig10Curve, err
 	maxTput := base.ThroughputJPS
 	meanSvc := float64(base.MeanServiceNs)
 
-	var curves []Fig10Curve
-	for _, mode := range []Mode{DRAMOnly, AstriFlash} {
-		c := Fig10Curve{System: mode.String()}
-		for _, frac := range loadFractions {
-			gap := 1e9 / (maxTput * frac) // ns between arrivals
-			m, err := NewMachine(cfg.options(mode, wl))
-			if err != nil {
-				return nil, err
-			}
-			res := m.RunPoisson(gap, cfg.WarmupNs, cfg.MeasureNs*2)
-			c.Points = append(c.Points, Fig10Point{
-				Load: res.ThroughputJPS / maxTput,
-				P99:  float64(res.P99ResponseNs) / meanSvc,
-			})
+	modes := []Mode{DRAMOnly, AstriFlash}
+	nl := len(loadFractions)
+	pts, err := runner.Map(len(modes)*nl, cfg.workers(), func(i int) (Fig10Point, error) {
+		mode, frac := modes[i/nl], loadFractions[i%nl]
+		gap := 1e9 / (maxTput * frac) // ns between arrivals
+		m, err := NewMachine(cfg.optionsAt(1+i, mode, wl))
+		if err != nil {
+			return Fig10Point{}, err
 		}
-		curves = append(curves, c)
+		res := m.RunPoisson(gap, cfg.WarmupNs, cfg.MeasureNs*2)
+		return Fig10Point{
+			Load: res.ThroughputJPS / maxTput,
+			P99:  float64(res.P99ResponseNs) / meanSvc,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var curves []Fig10Curve
+	for mi, mode := range modes {
+		curves = append(curves, Fig10Curve{
+			System: mode.String(),
+			Points: pts[mi*nl : (mi+1)*nl],
+		})
 	}
 	return curves, nil
 }

@@ -4,10 +4,18 @@
 // one Engine. Time is measured in integer nanoseconds. Events scheduled for
 // the same instant fire in scheduling order, so a run is bit-reproducible
 // given a fixed seed.
+//
+// The event queue is a monomorphic 4-ary min-heap stored in a plain slice.
+// Compared to container/heap, this removes the per-event interface boxing
+// (heap.Interface traffics in `any`, allocating every Push) and halves the
+// sift depth; the slice's capacity is retained across pops, so a warmed-up
+// engine schedules events with zero heap allocations. For hot paths, the
+// AtFunc/AfterFunc variants also avoid the caller-side closure: they take a
+// package-level func(any) plus a pointer-shaped argument, neither of which
+// allocates.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -22,31 +30,34 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
+// event is one queue entry. Callbacks are stored uniformly as a func(any)
+// plus argument: AtFunc events carry the caller's func and arg directly
+// (no allocation for package-level funcs and pointer args), while At
+// events carry the closure itself as the argument of a static trampoline.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
 
-type eventHeap []event
+// callClosure is the trampoline for At/After: the closure rides in arg.
+func callClosure(a any) { a.(func())() }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// before orders events by time, then by scheduling order, so same-instant
+// events fire deterministically.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
 
 // Engine is a discrete-event simulator clock and event queue.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	// events is a 4-ary min-heap ordered by (at, seq). Entries are stored
+	// by value; the slice doubles as a free list, since popped slots are
+	// reused by later pushes without reallocating.
+	events []event
 	// Stopped is set by Stop; Run drains no further events once set.
 	stopped bool
 	// fired counts executed events, for diagnostics and runaway detection.
@@ -70,6 +81,55 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of queued, unexecuted events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// push appends ev and sifts it up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+// pop removes and returns the minimum event, sifting the last entry down.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop callback references so fired closures can be GC'd
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[best]) {
+				best = j
+			}
+		}
+		if !h[best].before(&h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	e.events = h
+	return root
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in a causal simulation and panics.
 func (e *Engine) At(t Time, fn func()) {
@@ -77,7 +137,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: callClosure, arg: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -88,19 +148,41 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AtFunc schedules fn(arg) at absolute time t. Unlike At, it needs no
+// closure: with a package-level fn and a pointer-shaped arg the call is
+// allocation-free, which matters on per-access hot paths that schedule
+// millions of events per run. Scheduling in the past panics.
+func (e *Engine) AtFunc(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
+}
+
+// AfterFunc schedules fn(arg) d nanoseconds from now, allocation-free for
+// package-level fn and pointer-shaped arg. Negative d panics.
+func (e *Engine) AfterFunc(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.AtFunc(e.now+d, fn, arg)
+}
+
 // Step executes the next event, if any, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	if e.stopped || len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
 	if e.Limit != 0 && e.fired > e.Limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
+		panic(fmt.Sprintf("sim: event limit %d exceeded (now=%d, pending=%d, fired=%d)",
+			e.Limit, e.Now(), e.Pending(), e.fired))
 	}
-	ev.fn()
+	ev.fn(ev.arg)
 	return true
 }
 
@@ -113,7 +195,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t
 // (if it has not already passed t). Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.events) > 0 && e.events.peek().at <= t {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {

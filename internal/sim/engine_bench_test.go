@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleFire measures the engine's hot loop: schedule one
+// event and fire it, the pattern every simulated memory access repeats
+// several times. Allocations here multiply across every job in every
+// figure sweep.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}
+
+// nopEvent is the package-level callback for the closure-free benchmark.
+func nopEvent(any) {}
+
+// BenchmarkEngineScheduleFireFunc is the closure-free variant: AfterFunc
+// with a package-level callback and pointer argument, the pattern the hot
+// per-access paths in internal/system use.
+func BenchmarkEngineScheduleFireFunc(b *testing.B) {
+	e := NewEngine()
+	arg := new(int)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AfterFunc(1, nopEvent, arg)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleFireDepth measures schedule+fire with a standing
+// queue of 256 events, the typical steady-state depth of a saturated
+// multi-core run, so heap sift costs are visible.
+func BenchmarkEngineScheduleFireDepth(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 256; i++ {
+		e.At(Time(1+i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(300, func() {})
+		e.Step()
+	}
+}

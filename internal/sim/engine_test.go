@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -118,14 +119,134 @@ func TestEngineEventLimit(t *testing.T) {
 	e := NewEngine()
 	e.Limit = 5
 	var loop func()
-	loop = func() { e.After(1, loop) }
+	// Schedule two follow-ups per event so pending is nonzero at the trip.
+	loop = func() { e.After(1, loop); e.After(2, loop) }
 	e.After(1, loop)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("event storm did not trip the limit")
+		}
+		// The diagnostic must carry the queue depth and clock so a runaway
+		// is debuggable from the panic alone.
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"limit 5", "now=", "pending="} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("limit panic %q missing %q", msg, want)
+			}
 		}
 	}()
 	e.Run()
+}
+
+func TestEngineAtFuncOrdersWithAt(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(a any) { got = append(got, *a.(*int)) }
+	v1, v2, v3 := 1, 2, 3
+	e.AtFunc(20, record, &v2)
+	e.At(10, func() { got = append(got, v1) })
+	e.AtFunc(30, record, &v3)
+	// Same-instant tie: schedule order must win across both APIs.
+	v4, v5 := 4, 5
+	e.AtFunc(40, record, &v4)
+	e.At(40, func() { got = append(got, v5) })
+	e.Run()
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineAtFuncPanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AtFunc in the past did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "before now") {
+			t.Fatalf("panic %v lacks causality message", r)
+		}
+	}()
+	e.AtFunc(50, func(any) {}, nil)
+}
+
+func TestEngineAfterFuncPanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AfterFunc delay did not panic")
+		}
+	}()
+	e.AfterFunc(-1, func(any) {}, nil)
+}
+
+// TestEngineHeapStress drives the 4-ary heap through a large pseudo-random
+// schedule and checks events fire in exact (time, schedule-order) order.
+func TestEngineHeapStress(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(0xbeef)
+	const n = 20000
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var fired []stamp
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(r.Intn(5000))
+		e.At(at, func() { fired = append(fired, stamp{at, i}) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("event %d (t=%d seq=%d) fired before %d (t=%d seq=%d)",
+				i-1, a.at, a.seq, i, b.at, b.seq)
+		}
+	}
+}
+
+// TestEngineInterleavedPushPop exercises heap shape under the simulator's
+// real access pattern: pops interleaved with pushes at varying horizons.
+func TestEngineInterleavedPushPop(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(7)
+	var last Time
+	executed := 0
+	var spawn func()
+	spawn = func() {
+		executed++
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		if executed < 5000 {
+			e.After(Time(r.Intn(100)), spawn)
+			if executed%3 == 0 {
+				e.After(Time(r.Intn(1000)), spawn)
+			}
+		}
+	}
+	e.After(0, spawn)
+	e.Run()
+	if executed < 5000 {
+		t.Fatalf("executed %d events, want >= 5000", executed)
+	}
 }
 
 func TestEngineFiredCount(t *testing.T) {

@@ -6,16 +6,21 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 )
 
 // Histogram is a log-bucketed latency histogram in the style of HDR
 // histograms. Values are recorded in nanoseconds with bounded relative
 // error (one part in 2^subBits per bucket), so tail percentiles of
 // multi-million-sample runs are cheap to query and memory stays constant.
+//
+// Buckets live in a dense slice indexed by bucket number — Record is a
+// shift, a mask, and an array increment, with no hashing and no
+// allocation; the bucket index space for int64 values is small (~2 KB of
+// counters at the default precision).
 type Histogram struct {
 	subBits uint
-	buckets map[int]uint64
+	buckets []uint64
 	count   uint64
 	sum     float64
 	min     int64
@@ -24,11 +29,15 @@ type Histogram struct {
 
 const defaultSubBits = 5 // ~3% relative bucket width
 
+// numBuckets bounds the bucket index for any non-negative int64: indexes
+// run up to (62-subBits+1)<<subBits + (2^subBits - 1).
+func numBuckets(subBits uint) int { return (64 - int(subBits)) << subBits }
+
 // NewHistogram returns an empty histogram with default precision.
 func NewHistogram() *Histogram {
 	return &Histogram{
 		subBits: defaultSubBits,
-		buckets: make(map[int]uint64),
+		buckets: make([]uint64, numBuckets(defaultSubBits)),
 		min:     math.MaxInt64,
 		max:     math.MinInt64,
 	}
@@ -41,7 +50,7 @@ func (h *Histogram) bucketOf(v int64) int {
 	if v < (1 << h.subBits) {
 		return int(v)
 	}
-	exp := 63 - leadingZeros(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	shift := uint(exp) - h.subBits
 	sub := int(v>>shift) & ((1 << h.subBits) - 1)
 	return int(uint(exp-int(h.subBits)+1))<<h.subBits + sub
@@ -54,17 +63,6 @@ func (h *Histogram) bucketLow(b int) int64 {
 	exp := uint(b>>h.subBits) + h.subBits - 1
 	sub := int64(b & ((1 << h.subBits) - 1))
 	return (1 << exp) + sub<<(exp-h.subBits)
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
 }
 
 // Record adds one observation. Negative values clamp to zero.
@@ -128,14 +126,12 @@ func (h *Histogram) Percentile(p float64) int64 {
 	if rank == 0 {
 		rank = 1
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	var cum uint64
-	for _, k := range keys {
-		cum += h.buckets[k]
+	for k, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
 		if cum >= rank {
 			low := h.bucketLow(k)
 			if low < h.min {
@@ -170,9 +166,9 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Reset discards all observations.
+// Reset discards all observations, retaining the bucket storage.
 func (h *Histogram) Reset() {
-	h.buckets = make(map[int]uint64)
+	clear(h.buckets)
 	h.count = 0
 	h.sum = 0
 	h.min = math.MaxInt64

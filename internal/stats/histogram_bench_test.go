@@ -1,0 +1,28 @@
+package stats
+
+import "testing"
+
+// BenchmarkHistogramRecord measures the per-observation cost of the
+// latency histogram; every completed job records into three of these.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)%5_000_000 + 100)
+	}
+}
+
+// BenchmarkHistogramPercentile measures tail queries over a populated
+// histogram, the per-sweep-point reporting cost.
+func BenchmarkHistogramPercentile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 1_000_000; i++ {
+		h.Record(i%5_000_000 + 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Percentile(99)
+	}
+}

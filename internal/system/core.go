@@ -16,6 +16,10 @@ import (
 
 // jobState is one request in flight on a core.
 type jobState struct {
+	// core is the core the job is bound to; jobs never migrate. The
+	// back-pointer lets hot-path events be scheduled through the engine's
+	// allocation-free AfterFunc with the job itself as the argument.
+	core    *coreState
 	req     *loadgen.Request
 	steps   []workload.Step
 	pc      int
@@ -128,6 +132,15 @@ func (s *System) newCore(id int) *coreState {
 	return c
 }
 
+// Package-level event callbacks for the per-access hot path: scheduling
+// (top-level func, pointer arg) pairs through AfterFunc avoids a closure
+// allocation on every simulated compute/access/step transition.
+func jobAccessEvent(a any)     { j := a.(*jobState); j.core.access(j) }
+func jobChipAccessEvent(a any) { j := a.(*jobState); j.core.chipAccess(j) }
+func jobDRAMAccessEvent(a any) { j := a.(*jobState); j.core.dramAccess(j) }
+func jobStepDoneEvent(a any)   { j := a.(*jobState); j.core.stepDone(j) }
+func coreKickEvent(a any)      { a.(*coreState).kick() }
+
 // enqueue adds a new job to the core's scheduler.
 func (c *coreState) enqueue(job *jobState) {
 	now := c.s.eng.Now()
@@ -212,7 +225,7 @@ func (c *coreState) runStep(job *jobState) {
 	}
 	step := job.steps[job.pc]
 	c.s.attr.add(c.s, attrCompute, step.ComputeNs)
-	c.s.eng.After(step.ComputeNs, func() { c.access(job) })
+	c.s.eng.AfterFunc(step.ComputeNs, jobAccessEvent, job)
 }
 
 // complete retires the job and frees the core.
@@ -243,7 +256,7 @@ func (c *coreState) access(job *jobState) {
 	step := job.steps[job.pc]
 	vpn := step.Access.Page()
 	if lat, hit := c.tlb.Lookup(vpn); hit {
-		c.s.eng.After(lat, func() { c.chipAccess(job) })
+		c.s.eng.AfterFunc(lat, jobChipAccessEvent, job)
 		return
 	}
 	walkStart := c.s.eng.Now()
@@ -263,10 +276,10 @@ func (c *coreState) chipAccess(job *jobState) {
 		// The reference is served on chip; refresh the page's recency so
 		// the DRAM cache's replacement policy sees the reuse.
 		c.s.dc.Touch(step.Access.Page())
-		c.s.eng.After(r.Latency, func() { c.stepDone(job) })
+		c.s.eng.AfterFunc(r.Latency, jobStepDoneEvent, job)
 		return
 	}
-	c.s.eng.After(r.Latency, func() { c.dramAccess(job) })
+	c.s.eng.AfterFunc(r.Latency, jobDRAMAccessEvent, job)
 }
 
 // dramAccess probes the DRAM cache (or flat DRAM for DRAM-only).
@@ -404,7 +417,7 @@ func (c *coreState) userThreadMiss(job *jobState) {
 	c.cur, c.curTh = nil, nil
 	cost := flushCost + c.sched.Config().SwitchCost
 	c.s.attr.add(c.s, attrSched, cost)
-	c.s.eng.After(cost, func() { c.kick() })
+	c.s.eng.AfterFunc(cost, coreKickEvent, c)
 }
 
 // osFault is the OS-Swap path: kernel fault entry under the VM lock, a
@@ -444,7 +457,7 @@ func (c *coreState) osFault(job *jobState) {
 	// next task runs.
 	resumeAt := faultDone + c.s.kernel.ContextSwitch()
 	c.s.attr.add(c.s, attrOS, resumeAt-now)
-	c.s.eng.At(resumeAt, func() { c.kick() })
+	c.s.eng.AtFunc(resumeAt, coreKickEvent, c)
 }
 
 // queuedNew reports scheduler depth for diagnostics.

@@ -49,6 +49,7 @@ func (r Result) String() string {
 // spawnJob materializes a fresh workload request for core c at time now.
 func (s *System) spawnJob(c *coreState, arrived sim.Time) *jobState {
 	job := &jobState{
+		core:  c,
 		req:   &loadgen.Request{ArrivedAt: arrived},
 		steps: s.wl.NewJob().Steps,
 	}

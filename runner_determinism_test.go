@@ -1,0 +1,97 @@
+package astriflash
+
+import "testing"
+
+// detExp is a deliberately small sweep config so the determinism matrix
+// (every sweep twice) stays fast.
+func detExp() ExpConfig {
+	cfg := DefaultExpConfig()
+	cfg.Cores = 2
+	cfg.DatasetBytes = 8 << 20
+	cfg.Inflight = 16
+	cfg.WarmupNs = 2_000_000
+	cfg.MeasureNs = 4_000_000
+	return cfg
+}
+
+// TestSweepsIdenticalAcrossWorkerCounts guards the runner's seed-derivation
+// contract: a sweep's rendered output must be byte-identical whether its
+// points run sequentially or fanned across a pool. Each sweep is rendered
+// under workers=1 and workers=8 and compared as strings.
+func TestSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	render := map[string]func(cfg ExpConfig) (string, error){
+		"fig1": func(cfg ExpConfig) (string, error) {
+			pts, err := Fig1MissRatioSweep(cfg, "arrayswap", []float64{0.01, 0.03})
+			if err != nil {
+				return "", err
+			}
+			return RenderFig1(pts), nil
+		},
+		"fig2": func(cfg ExpConfig) (string, error) {
+			pts, err := Fig2PagingScaling(cfg, "tatp", []int{2, 4})
+			if err != nil {
+				return "", err
+			}
+			return RenderFig2(pts), nil
+		},
+		"fig9": func(cfg ExpConfig) (string, error) {
+			rows, err := Fig9Throughput(cfg, []string{"tatp"})
+			if err != nil {
+				return "", err
+			}
+			return RenderFig9(rows), nil
+		},
+		"table2": func(cfg ExpConfig) (string, error) {
+			rows, err := Table2ServiceLatency(cfg, "tatp")
+			if err != nil {
+				return "", err
+			}
+			return RenderTable2(rows), nil
+		},
+		"gc": func(cfg ExpConfig) (string, error) {
+			pts, err := GCOverheadSweep(cfg, "arrayswap")
+			if err != nil {
+				return "", err
+			}
+			return RenderGC(pts), nil
+		},
+	}
+	for name, fn := range render {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq := detExp()
+			seq.Workers = 1
+			par := detExp()
+			par.Workers = 8
+			a, err := fn(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fn(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("workers=1 and workers=8 diverged:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestFig10IdenticalAcrossWorkerCounts covers the open-loop sweep, whose
+// grid points depend on a sequential baseline run.
+func TestFig10IdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		cfg := detExp()
+		cfg.Workers = workers
+		curves, err := Fig10TailLatency(cfg, []float64{0.3, 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderFig10(curves)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatalf("fig10 diverged across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
