@@ -51,20 +51,34 @@ func Anatomy(cfg ExpConfig, workloadName string, modes []Mode) ([]AnatomyRow, er
 	})
 }
 
-// RenderAnatomy formats anatomy rows as a percentage table.
+// RenderAnatomy formats anatomy rows as a percentage table. Buckets that
+// charged zero time in every row (e.g. flash-retry on fault-free runs)
+// are omitted, so the table only shows overheads the runs actually paid.
 func RenderAnatomy(rows []AnatomyRow) string {
 	if len(rows) == 0 {
 		return ""
 	}
+	nonzero := make([]bool, len(rows[0].Shares))
+	for _, r := range rows {
+		for i, s := range r.Shares {
+			if i < len(nonzero) && s.Ns != 0 {
+				nonzero[i] = true
+			}
+		}
+	}
 	header := []string{"config"}
-	for _, s := range rows[0].Shares {
-		header = append(header, s.Bucket)
+	for i, s := range rows[0].Shares {
+		if nonzero[i] {
+			header = append(header, s.Bucket)
+		}
 	}
 	var out [][]string
 	for _, r := range rows {
 		cells := []string{r.Config}
-		for _, s := range r.Shares {
-			cells = append(cells, fmt.Sprintf("%.1f%%", s.Fraction*100))
+		for i, s := range r.Shares {
+			if i < len(nonzero) && nonzero[i] {
+				cells = append(cells, fmt.Sprintf("%.1f%%", s.Fraction*100))
+			}
 		}
 		out = append(out, cells)
 	}

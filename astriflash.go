@@ -20,6 +20,7 @@ package astriflash
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"astriflash/internal/dramcache"
 	"astriflash/internal/system"
@@ -133,6 +134,32 @@ type Options struct {
 	// flash channel, trading occasional underprediction stalls for
 	// bandwidth (the optimization Section II-A cites).
 	FootprintCache bool
+
+	// RBER is the raw bit error rate injected into every flash cell read
+	// (0 disables fault injection entirely; the device then never touches
+	// its fault RNG and behaves bit-identically to the fault-free model).
+	// Raw errors beyond the ECC correction strength push the read through
+	// a retry ladder; reads that defeat every step are uncorrectable.
+	RBER float64
+	// ReadRetrySteps bounds the read-retry ladder depth (0 = default 4).
+	ReadRetrySteps int
+	// ReadRetryLatencyNs is the added sense+transfer cost per ladder step
+	// (0 = half the cell-read latency).
+	ReadRetryLatencyNs int64
+	// PEFailProb is the per-program/erase failure probability; failures
+	// retire the block and migrate its live pages (counted in write
+	// amplification).
+	PEFailProb float64
+	// BCReadTimeoutNs arms the backside controller's per-read watchdog;
+	// reads not settled within the window are re-issued (0 disables).
+	BCReadTimeoutNs int64
+	// BCReadRetries bounds BC re-issues after a timeout or uncorrectable
+	// read before falling back to the FTL's recovered copy.
+	BCReadRetries int
+	// RunTimeout aborts a runaway simulation point (panic with engine
+	// diagnostics) after this much wall-clock time. 0 means no limit.
+	RunTimeout time.Duration
+
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
 }
@@ -196,6 +223,17 @@ func (o Options) build() (system.Config, error) {
 		cfg.Flash.PagesPerBlock = o.FlashPagesPerBlock
 	}
 	cfg.Flash.LocalGC = o.LocalGC
+	cfg.Flash.RBER = o.RBER
+	if o.ReadRetrySteps > 0 {
+		cfg.Flash.ReadRetrySteps = o.ReadRetrySteps
+	}
+	if o.ReadRetryLatencyNs > 0 {
+		cfg.Flash.ReadRetryLatency = o.ReadRetryLatencyNs
+	}
+	cfg.Flash.PEFailProb = o.PEFailProb
+	cfg.FlashReadTimeoutNs = o.BCReadTimeoutNs
+	cfg.FlashReadRetries = o.BCReadRetries
+	cfg.RunDeadline = o.RunTimeout
 	cfg.FootprintCache = o.FootprintCache
 	if o.OSShootdownBatch > 0 {
 		cfg.OSCosts.ShootdownBatch = o.OSShootdownBatch
@@ -246,6 +284,20 @@ type Metrics struct {
 	GCRuns                  uint64
 	GCBlockedFraction       float64
 	ForcedSyncCount         uint64
+	// P99FlashReadNs is the device-level read tail (queueing + retry
+	// ladder + channel transfer), cumulative over the run.
+	P99FlashReadNs int64
+
+	// Fault-injection observables; all zero when RBER and PEFailProb are 0.
+	FlashRetriedReads   uint64
+	FlashUncorrectables uint64
+	FlashRecovered      uint64
+	FlashRemapMoves     uint64
+	FlashBadBlocks      uint64
+	BCRetries           uint64
+	BCTimeouts          uint64
+	BCFallbacks         uint64
+	WriteAmplification  float64
 }
 
 func fromResult(r system.Result) Metrics {
@@ -269,6 +321,17 @@ func fromResult(r system.Result) Metrics {
 		GCRuns:             r.GCRuns,
 		GCBlockedFraction:  r.GCBlockedFraction,
 		ForcedSyncCount:    r.ForcedSyncCount,
+		P99FlashReadNs:     r.P99FlashReadNs,
+
+		FlashRetriedReads:   r.FlashRetriedReads,
+		FlashUncorrectables: r.FlashUncorrectables,
+		FlashRecovered:      r.FlashRecovered,
+		FlashRemapMoves:     r.FlashRemapMoves,
+		FlashBadBlocks:      r.FlashBadBlocks,
+		BCRetries:           r.BCRetries,
+		BCTimeouts:          r.BCTimeouts,
+		BCFallbacks:         r.BCFallbacks,
+		WriteAmplification:  r.WriteAmplification,
 	}
 }
 

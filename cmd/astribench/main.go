@@ -6,8 +6,8 @@
 //	astribench -exp fig9       # one experiment
 //	astribench -exp fig9,table2 -cores 16 -dataset 64
 //
-// Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc.
-// Each prints the same rows/series the paper reports; EXPERIMENTS.md
+// Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc, anatomy,
+// faults. Each prints the same rows/series the paper reports; EXPERIMENTS.md
 // records paper-vs-measured values.
 package main
 
@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy,faults)")
 		cores     = flag.Int("cores", 8, "simulated cores")
 		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
 		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = auto: ASTRIFLASH_WORKERS, then NumCPU); results are identical for any value")
 		plot      = flag.Bool("plot", false, "render fig3/fig10 as ASCII charts too")
+		timeout   = flag.Duration("timeout", 0, "abort any single sweep point after this much wall-clock time, with now/pending/fired engine diagnostics (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	cfg.DatasetBytes = *datasetMB << 20
 	cfg.MeasureNs = *measureMs * 1_000_000
 	cfg.Workers = *workers
+	cfg.PointTimeout = *timeout
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -118,6 +120,13 @@ func main() {
 				return "", err
 			}
 			return astriflash.RenderAnatomy(rows), nil
+		}},
+		{"faults", func() (string, error) {
+			pts, err := astriflash.FaultsSweep(cfg, "tatp", nil)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderFaults(pts), nil
 		}},
 	}
 

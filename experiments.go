@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"astriflash/internal/runner"
 	"astriflash/internal/stats"
@@ -25,6 +26,10 @@ type ExpConfig struct {
 	// point's seed derives from (Seed, point index) alone, and every point
 	// runs its own single-threaded engine.
 	Workers int
+	// PointTimeout aborts any single sweep point that exceeds this much
+	// wall-clock time (panic with engine diagnostics, surfaced by the
+	// runner as that point's error). 0 means no limit.
+	PointTimeout time.Duration
 }
 
 // DefaultExpConfig returns the quick-run sizing.
@@ -49,6 +54,7 @@ func (e ExpConfig) options(mode Mode, wl string) Options {
 	o.Cores = e.Cores
 	o.DatasetBytes = e.DatasetBytes
 	o.Seed = e.Seed
+	o.RunTimeout = e.PointTimeout
 	return o
 }
 

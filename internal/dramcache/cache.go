@@ -53,6 +53,16 @@ type Config struct {
 
 	FCOpNs int64 // frontside controller per-operation cost (FSM, ~1 cycle)
 	BCOpNs int64 // backside controller per-operation cost (programmable, ~3 cycles)
+
+	// FlashReadTimeoutNs arms BC's watchdog on each flash read: a read
+	// that has not settled within this window is abandoned and re-issued.
+	// 0 disables the watchdog (the default; the fault-free device always
+	// completes).
+	FlashReadTimeoutNs int64
+	// FlashReadRetries bounds how many times BC re-issues a read after a
+	// timeout or an uncorrectable completion before falling back to the
+	// FTL's recovered copy, which cannot fail.
+	FlashReadRetries int
 }
 
 // DefaultConfig returns a scaled cache; capacity is set by the system
@@ -132,9 +142,16 @@ type Cache struct {
 	DirtyWB    stats.Counter
 	Installs   stats.Counter
 	MergedMiss stats.Counter
-	HitLat     *stats.Histogram
-	MissLat    *stats.Histogram // miss-signal turnaround, not the flash wait
-	RefillLat  *stats.Histogram // request to page-installed
+	// Fault-path counter family: reads BC re-issued (after a timeout or an
+	// uncorrectable), watchdog firings, uncorrectable completions observed,
+	// and exhausted-retry fallbacks served from the FTL's recovered copy.
+	FlashRetries       stats.Counter
+	FlashTimeouts      stats.Counter
+	FlashUncorrectable stats.Counter
+	FlashFallbacks     stats.Counter
+	HitLat             *stats.Histogram
+	MissLat            *stats.Histogram // miss-signal turnaround, not the flash wait
+	RefillLat          *stats.Histogram // request to page-installed
 }
 
 // New builds the cache over the given DRAM and flash devices.
@@ -410,9 +427,53 @@ func (c *Cache) launchFetch(p mem.PageNum, at sim.Time) {
 		// Victim selection and copy to the evict buffer proceed during
 		// the flash access (off the critical path, Section IV-B2).
 		c.prepareVictim(p)
-		c.flash.Read(p, func(arrive sim.Time) {
-			c.install(p, arrive, reqTime)
+		c.fetchFromFlash(p, reqTime, 0)
+	})
+}
+
+// fetchFromFlash issues one flash read attempt for p, arming BC's
+// watchdog when configured. An uncorrectable completion or a watchdog
+// firing re-issues the read (the device remaps uncorrectable pages, so a
+// retry targets fresh cells) up to cfg.FlashReadRetries times; exhausted
+// retries fall back to the FTL's recovered copy, which cannot fail. With
+// faults off and no watchdog this reduces to exactly one read.
+func (c *Cache) fetchFromFlash(p mem.PageNum, reqTime sim.Time, attempt int) {
+	settled := false
+	if c.cfg.FlashReadTimeoutNs > 0 {
+		c.eng.After(c.cfg.FlashReadTimeoutNs, func() {
+			if settled {
+				return
+			}
+			settled = true
+			c.FlashTimeouts.Inc()
+			c.retryOrFallback(p, reqTime, attempt)
 		})
+	}
+	c.flash.ReadPage(p, func(r flash.ReadResult) {
+		if settled {
+			return // the watchdog already re-issued; drop the late arrival
+		}
+		settled = true
+		if r.Err != nil {
+			c.FlashUncorrectable.Inc()
+			c.retryOrFallback(p, reqTime, attempt)
+			return
+		}
+		c.install(p, r.At, reqTime)
+	})
+}
+
+// retryOrFallback re-issues a failed or timed-out read, or serves the
+// miss from the FTL's recovered copy once the retry budget is spent.
+func (c *Cache) retryOrFallback(p mem.PageNum, reqTime sim.Time, attempt int) {
+	if attempt < c.cfg.FlashReadRetries {
+		c.FlashRetries.Inc()
+		c.fetchFromFlash(p, reqTime, attempt+1)
+		return
+	}
+	c.FlashFallbacks.Inc()
+	c.flash.ReadRecovered(p, func(at sim.Time) {
+		c.install(p, at, reqTime)
 	})
 }
 

@@ -37,6 +37,36 @@ type Config struct {
 	// LocalGC enables Tiny-Tail-style local garbage collection in which
 	// reads are not blocked behind an in-progress GC (paper [80]).
 	LocalGC bool
+
+	// Fault injection (faults.go). With RBER and PEFailProb both zero the
+	// device never consults its RNG and is bit-identical to the fault-free
+	// model.
+
+	// RBER is the raw bit error rate: the per-bit probability a cell read
+	// returns a flipped bit before ECC. Nonzero RBER enables the
+	// read-retry ladder.
+	RBER float64
+	// ECCCorrectableBits is the per-page ECC correction strength; a raw
+	// read with more errors escalates to the retry ladder (default 64).
+	ECCCorrectableBits int
+	// ReadRetrySteps is the ladder depth: retries beyond it are
+	// uncorrectable (default 6).
+	ReadRetrySteps int
+	// ReadRetryLatency is the extra sense time per ladder step (default
+	// ReadLatency/2).
+	ReadRetryLatency int64
+	// RetryRBERScale is the factor each ladder step scales the effective
+	// RBER by as the reference voltage is re-tuned (default 0.85).
+	RetryRBERScale float64
+	// PEFailProb is the probability a host program or a block erase fails,
+	// retiring the block: it is marked bad and its live pages migrate.
+	PEFailProb float64
+	// RecoveryLatency is the cost of reconstructing a page from the FTL's
+	// redundancy (ReadRecovered; default 4x ReadLatency).
+	RecoveryLatency int64
+	// Seed seeds the device-local fault RNG; derive it from the run seed
+	// so fault-injected sweeps stay reproducible.
+	Seed uint64
 }
 
 // DefaultConfig returns a scaled device: 8 channels x 2 dies x 2 planes,
@@ -73,6 +103,9 @@ type block struct {
 	validCount int
 	writePtr   int // next free slot; PagesPerBlock means full
 	eraseCount uint64
+	// bad marks a retired block: a program or erase failed in it, its live
+	// pages were migrated away, and it never serves writes or GC again.
+	bad bool
 }
 
 type plane struct {
@@ -100,13 +133,29 @@ type Device struct {
 
 	logicalPages uint64
 
-	Reads        stats.Counter
-	Writes       stats.Counter
-	GCRuns       stats.Counter
-	GCPageMoves  stats.Counter
-	BlockedByGC  stats.Counter
-	ReadLatHist  *stats.Histogram
-	WriteLatHist *stats.Histogram
+	// Fault-model state (faults.go). rng is consulted only when faultsOn.
+	rng      *sim.RNG
+	pFail    []float64 // per-ladder-step ECC failure probability
+	faultsOn bool
+
+	// RetryHook, if set, observes every nanosecond of fault-induced read
+	// latency (ladder steps, recovery reconstructions) so the system layer
+	// can attribute it separately from nominal flash waits.
+	RetryHook func(ns int64)
+
+	Reads          stats.Counter
+	Writes         stats.Counter
+	GCRuns         stats.Counter
+	GCPageMoves    stats.Counter
+	BlockedByGC    stats.Counter
+	RetriedReads   stats.Counter // reads needing at least one ladder step
+	RetryStepsTot  stats.Counter // total ladder steps across all reads
+	Uncorrectables stats.Counter // reads that defeated the whole ladder
+	RecoveredReads stats.Counter // redundancy reconstructions (ReadRecovered)
+	BadBlocks      stats.Counter // blocks retired by program/erase failures
+	RemapMoves     stats.Counter // live pages migrated off bad blocks or dead cells
+	ReadLatHist    *stats.Histogram
+	WriteLatHist   *stats.Histogram
 }
 
 // NewDevice builds the SSD on the given engine.
@@ -141,9 +190,22 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		}
 		pl.active = 0
 	}
-	phys := uint64(np) * uint64(cfg.BlocksPerPlane) * uint64(cfg.PagesPerBlock)
-	d.logicalPages = uint64(float64(phys) / (1 + cfg.OverprovisionPct))
+	d.logicalPages = cfg.LogicalPages()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	d.rng = sim.NewRNG(seed ^ 0xf1a5_4b5e_ed00_0001)
+	d.resolveFaults()
 	return d
+}
+
+// LogicalPages returns the advertised logical capacity (in 4 KB pages) a
+// device with this geometry would have, without building it.
+func (c Config) LogicalPages() uint64 {
+	np := c.Channels * c.DiesPerChannel * c.PlanesPerDie
+	phys := uint64(np) * uint64(c.BlocksPerPlane) * uint64(c.PagesPerBlock)
+	return uint64(float64(phys) / (1 + c.OverprovisionPct))
 }
 
 // LogicalPages returns the device's advertised capacity in 4 KB pages.
@@ -170,13 +232,36 @@ func (d *Device) planeForRead(lpn mem.PageNum) int {
 	return int(uint64(lpn) % uint64(len(d.planes)))
 }
 
-// Read fetches logical page lpn and calls done(completionTime) when the
-// page has crossed the channel. Reads of never-written pages model the
-// pre-loaded dataset and are legal.
-func (d *Device) Read(lpn mem.PageNum, done func(at int64)) {
-	if uint64(lpn)%d.logicalPages != uint64(lpn) {
-		lpn = mem.PageNum(uint64(lpn) % d.logicalPages)
+// checkLPN rejects logical page numbers beyond the advertised capacity.
+// (Earlier revisions silently wrapped them modulo the capacity, aliasing
+// distinct logical pages onto the same flash data.)
+func (d *Device) checkLPN(lpn mem.PageNum) {
+	if uint64(lpn) >= d.logicalPages {
+		panic(fmt.Sprintf("flash: lpn %d beyond logical capacity of %d pages", uint64(lpn), d.logicalPages))
 	}
+}
+
+// ReadResult describes one completed page read.
+type ReadResult struct {
+	// At is the simulation time the read settled: data crossed the channel
+	// for successful reads, the final ladder step failed for uncorrectable
+	// ones.
+	At int64
+	// Retries is the number of read-retry ladder steps the read needed.
+	Retries int
+	// Err is ErrUncorrectable when raw errors defeated ECC at every ladder
+	// step; the device has already remapped the page, so a re-read targets
+	// fresh cells. Err is nil on success.
+	Err error
+}
+
+// ReadPage fetches logical page lpn and calls done when the read settles.
+// Raw bit errors (Config.RBER) escalate through the read-retry ladder,
+// each step adding sense latency; a read that fails the whole ladder
+// completes with ErrUncorrectable instead of data. Reads of never-written
+// pages model the pre-loaded dataset and are legal.
+func (d *Device) ReadPage(lpn mem.PageNum, done func(ReadResult)) {
+	d.checkLPN(lpn)
 	now := d.eng.Now()
 	p := d.planeForRead(lpn)
 	pl := &d.planes[p]
@@ -191,8 +276,27 @@ func (d *Device) Read(lpn mem.PageNum, done func(at int64)) {
 	if pl.busyUntil > start {
 		start = pl.busyUntil
 	}
-	cellDone := start + d.cfg.ReadLatency
+	extraNs, steps, uncorrectable := d.readLadder()
+	if steps > 0 {
+		d.RetriedReads.Inc()
+		d.RetryStepsTot.Add(uint64(steps))
+		if d.RetryHook != nil {
+			d.RetryHook(extraNs)
+		}
+	}
+	cellDone := start + d.cfg.ReadLatency + extraNs
 	pl.busyUntil = cellDone
+	d.Reads.Inc()
+
+	if uncorrectable {
+		// No data to transfer: the error surfaces when the last ladder
+		// step fails. The FTL reconstructs the page from redundancy and
+		// remaps it so retries target fresh cells.
+		d.Uncorrectables.Inc()
+		d.remapLPN(lpn)
+		d.eng.At(cellDone, func() { done(ReadResult{At: cellDone, Retries: steps, Err: ErrUncorrectable}) })
+		return
+	}
 
 	ch := d.channelOf(p)
 	xferStart := cellDone
@@ -202,18 +306,29 @@ func (d *Device) Read(lpn mem.PageNum, done func(at int64)) {
 	finish := xferStart + d.cfg.ChannelTransfer
 	d.chans[ch] = finish
 
-	d.Reads.Inc()
 	d.ReadLatHist.Record(finish - now)
-	d.eng.At(finish, func() { done(finish) })
+	d.eng.At(finish, func() { done(ReadResult{At: finish, Retries: steps}) })
+}
+
+// Read fetches logical page lpn and calls done(completionTime) when the
+// page has crossed the channel. Uncorrectable reads are transparently
+// reconstructed from the FTL's redundancy (ReadRecovered), so done always
+// fires; callers that need to see faults use ReadPage.
+func (d *Device) Read(lpn mem.PageNum, done func(at int64)) {
+	d.ReadPage(lpn, func(r ReadResult) {
+		if r.Err != nil {
+			d.ReadRecovered(lpn, done)
+			return
+		}
+		done(r.At)
+	})
 }
 
 // Write programs logical page lpn (log-structured: a fresh physical page
 // is allocated and any previous copy is invalidated) and calls done when
 // the program completes. Writes may trigger garbage collection.
 func (d *Device) Write(lpn mem.PageNum, done func(at int64)) {
-	if uint64(lpn)%d.logicalPages != uint64(lpn) {
-		lpn = mem.PageNum(uint64(lpn) % d.logicalPages)
-	}
+	d.checkLPN(lpn)
 	now := d.eng.Now()
 	p := d.nextPl
 	d.nextPl = (d.nextPl + 1) % len(d.planes)
@@ -237,6 +352,9 @@ func (d *Device) Write(lpn mem.PageNum, done func(at int64)) {
 	if pl.writeBusyUntil > progStart {
 		progStart = pl.writeBusyUntil
 	}
+	// A failed program retires the active block and migrates its live
+	// pages before this write can land in a fresh block.
+	progStart += d.maybeFailProgram(p, progStart)
 	finish := progStart + d.cfg.ProgramLatency
 	pl.writeBusyUntil = finish
 
@@ -281,7 +399,8 @@ func (d *Device) rotateActive(p int) {
 		d.collect(p, d.eng.Now())
 	}
 	if len(pl.freeBlocks) == 0 {
-		panic("flash: no reclaimable blocks; device over-filled beyond overprovisioning")
+		panic(fmt.Sprintf("flash: no reclaimable blocks (%d retired as bad); device over-filled beyond overprovisioning",
+			d.BadBlocks.Value()))
 	}
 	pl.active = pl.freeBlocks[0]
 	pl.freeBlocks = pl.freeBlocks[1:]
@@ -306,7 +425,7 @@ func (d *Device) collect(p int, at int64) {
 	victim := -1
 	best := d.cfg.PagesPerBlock + 1
 	for b := range pl.blocks {
-		if b == pl.active {
+		if b == pl.active || pl.blocks[b].bad {
 			continue
 		}
 		blk := &pl.blocks[b]
@@ -344,10 +463,15 @@ func (d *Device) collect(p int, at int64) {
 		d.ftl[owner] = physLoc{plane: p, block: pl.active, page: s}
 	}
 	dur := int64(moves)*(d.cfg.ReadLatency+d.cfg.ProgramLatency) + d.cfg.EraseLatency
-	vb.writePtr = 0
 	vb.validCount = 0
-	vb.eraseCount++
-	pl.freeBlocks = append(pl.freeBlocks, victim)
+	if d.maybeFailErase(p, victim) {
+		// The erase failed: the block is retired instead of freed. The
+		// pass still occupied the plane for the full duration.
+	} else {
+		vb.writePtr = 0
+		vb.eraseCount++
+		pl.freeBlocks = append(pl.freeBlocks, victim)
+	}
 
 	end := at + dur
 	if end > pl.gcUntil {
@@ -389,15 +513,16 @@ func (d *Device) TotalEraseCount() uint64 {
 	return sum
 }
 
-// WriteAmplification returns (host writes + GC relocations) / host
-// writes — the endurance figure of merit behind the paper's "practical
-// endurance/lifetime" claim (Section V-A). It returns 1 with no writes.
+// WriteAmplification returns (host writes + GC relocations + bad-block
+// and uncorrectable remaps) / host writes — the endurance figure of merit
+// behind the paper's "practical endurance/lifetime" claim (Section V-A).
+// It returns 1 with no writes.
 func (d *Device) WriteAmplification() float64 {
 	host := d.Writes.Value()
 	if host == 0 {
 		return 1
 	}
-	return float64(host+d.GCPageMoves.Value()) / float64(host)
+	return float64(host+d.GCPageMoves.Value()+d.RemapMoves.Value()) / float64(host)
 }
 
 // BlockedReadFraction returns the fraction of reads that arrived during an
@@ -410,9 +535,12 @@ func (d *Device) BlockedReadFraction() float64 {
 }
 
 // CheckFTLInvariants validates internal consistency: every FTL entry
-// points at a slot owned by that logical page, and valid counts match the
-// owner maps. It returns an error description or "" when consistent.
-// Tests and the property suite call this after workloads run.
+// points at a slot owned by that logical page, the mapping is a bijection
+// on live pages (no live slot without an FTL entry pointing at it), valid
+// counts match the owner maps, and retired (bad) blocks hold no live
+// pages, are never the active write target, and never sit in a free list.
+// It returns an error description or "" when consistent. Tests and the
+// property suite call this after workloads run.
 func (d *Device) CheckFTLInvariants() string {
 	for lpn, loc := range d.ftl {
 		if loc.plane >= len(d.planes) {
@@ -422,10 +550,23 @@ func (d *Device) CheckFTLInvariants() string {
 		if loc.page >= len(blk.owners) || blk.owners[loc.page] != lpn {
 			return fmt.Sprintf("lpn %d FTL entry not mirrored by block owner", lpn)
 		}
+		if blk.bad {
+			return fmt.Sprintf("lpn %d mapped onto bad block %d of plane %d", lpn, loc.block, loc.plane)
+		}
 	}
+	live := 0
 	for p := range d.planes {
-		for b := range d.planes[p].blocks {
-			blk := &d.planes[p].blocks[b]
+		pl := &d.planes[p]
+		if pl.blocks[pl.active].bad {
+			return fmt.Sprintf("plane %d active block %d is bad", p, pl.active)
+		}
+		for _, b := range pl.freeBlocks {
+			if pl.blocks[b].bad {
+				return fmt.Sprintf("plane %d free list contains bad block %d", p, b)
+			}
+		}
+		for b := range pl.blocks {
+			blk := &pl.blocks[b]
 			n := 0
 			for _, o := range blk.owners {
 				if o != invalidLPN {
@@ -435,7 +576,17 @@ func (d *Device) CheckFTLInvariants() string {
 			if n != blk.validCount {
 				return fmt.Sprintf("plane %d block %d validCount %d != owners %d", p, b, blk.validCount, n)
 			}
+			if blk.bad && n != 0 {
+				return fmt.Sprintf("plane %d bad block %d still holds %d live pages", p, b, n)
+			}
+			live += n
 		}
+	}
+	// Each live slot's owner has an FTL entry, and every FTL entry is
+	// mirrored by exactly one live slot (checked above); equal totals make
+	// the live mapping a bijection.
+	if live != len(d.ftl) {
+		return fmt.Sprintf("%d live physical slots but %d FTL entries; stale owners exist", live, len(d.ftl))
 	}
 	return ""
 }

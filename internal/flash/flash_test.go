@@ -1,6 +1,8 @@
 package flash
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"astriflash/internal/mem"
@@ -239,16 +241,26 @@ func TestInvalidConfigPanics(t *testing.T) {
 	NewDevice(sim.NewEngine(), Config{})
 }
 
-func TestLPNOutOfRangeWraps(t *testing.T) {
+func TestLPNOutOfRangePanics(t *testing.T) {
 	eng := sim.NewEngine()
 	d := NewDevice(eng, smallConfig())
 	huge := mem.PageNum(d.LogicalPages() * 3)
-	fired := false
-	d.Read(huge, func(int64) { fired = true })
-	eng.Run()
-	if !fired {
-		t.Fatal("out-of-range read never completed")
+	check := func(op string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s of out-of-range LPN did not panic", op)
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, fmt.Sprint(uint64(huge))) ||
+				!strings.Contains(msg, fmt.Sprint(d.LogicalPages())) {
+				t.Fatalf("%s panic %q does not name the LPN and capacity", op, msg)
+			}
+		}()
+		fn()
 	}
+	check("read", func() { d.Read(huge, func(int64) {}) })
+	check("write", func() { d.Write(huge, func(int64) {}) })
 }
 
 func TestDeterministicLatencies(t *testing.T) {

@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMapRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(8, workers, func(i int) (int, error) {
+			if i == 5 {
+				panic("pathological sweep point")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not surfaced as an error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T is not a *PanicError", workers, err)
+		}
+		if pe.Index != 5 {
+			t.Fatalf("workers=%d: panic attributed to point %d, want 5", workers, pe.Index)
+		}
+		if pe.Value != "pathological sweep point" {
+			t.Fatalf("workers=%d: panic value %v lost", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "sweep point 5") {
+			t.Fatalf("workers=%d: error lacks stack or point index: %v", workers, err)
+		}
+	}
+}
+
+func TestMapPanicDoesNotPoisonOtherPoints(t *testing.T) {
+	// A panic cancels the sweep like an error does; already-running points
+	// finish without crashing the process.
+	res, err := Map(4, 2, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatalf("clean sweep errored: %v", err)
+	}
+	for i, v := range res {
+		if v != i*i {
+			t.Fatalf("point %d = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -15,8 +15,10 @@
 package runner
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -57,10 +59,39 @@ func Seed(base uint64, index int) uint64 {
 	return z
 }
 
+// PanicError is a panic from one sweep point, converted into an ordinary
+// error: the experiment fails with the point identified and the original
+// stack attached, instead of one pathological point killing the whole
+// process with an unattributed traceback from inside a worker goroutine.
+type PanicError struct {
+	// Index is the sweep point whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("runner: sweep point %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// call invokes fn(i), converting a panic into a *PanicError.
+func call[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // Map runs fn(i) for every index in [0, n) across workers goroutines and
 // returns the results in index order. fn must be safe for concurrent
 // invocation on distinct indices. The first error (by completion order)
 // cancels unstarted points and is returned; points already running finish.
+// A panic inside fn is recovered and surfaced as a *PanicError naming the
+// point, not a process crash.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
@@ -75,7 +106,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		// workers=1 arm of the determinism contract is trivially the
 		// sequential order.
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := call(i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +131,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := call(i, fn)
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					failed.Store(true)

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeadlineAbortsRunawayRun(t *testing.T) {
+	eng := NewEngine()
+	eng.Deadline(10 * time.Millisecond)
+	// A self-rescheduling event: without the deadline this runs forever.
+	var tick func()
+	tick = func() { eng.After(1, tick) }
+	eng.After(1, tick)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("runaway run did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T is not the diagnostic string", r)
+		}
+		for _, want := range []string{"deadline", "now=", "pending=", "fired="} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("diagnostics %q missing %q", msg, want)
+			}
+		}
+	}()
+	eng.Run()
+}
+
+func TestDeadlineClearedAllowsRun(t *testing.T) {
+	eng := NewEngine()
+	eng.Deadline(time.Hour)
+	eng.Deadline(0) // cleared
+	n := 0
+	for i := 0; i < 3000; i++ {
+		eng.After(Time(i), func() { n++ })
+	}
+	eng.Run()
+	if n != 3000 {
+		t.Fatalf("ran %d events, want 3000", n)
+	}
+}

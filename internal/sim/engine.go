@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 )
 
 // Time is a simulation timestamp in nanoseconds.
@@ -65,7 +66,14 @@ type Engine struct {
 	// Limit, if nonzero, aborts Run with a panic after this many events.
 	// It guards against accidental event storms in tests.
 	Limit uint64
+	// deadline, if set, aborts Run with a panic once wall-clock time
+	// passes it. Checked every deadlineStride events to keep Step cheap.
+	deadline time.Time
 }
+
+// deadlineStride is how many events fire between wall-clock deadline
+// checks; a power of two so the hot-path test is a mask.
+const deadlineStride = 1024
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -182,8 +190,26 @@ func (e *Engine) Step() bool {
 		panic(fmt.Sprintf("sim: event limit %d exceeded (now=%d, pending=%d, fired=%d)",
 			e.Limit, e.Now(), e.Pending(), e.fired))
 	}
+	if !e.deadline.IsZero() && e.fired&(deadlineStride-1) == 0 && time.Now().After(e.deadline) {
+		panic(fmt.Sprintf("sim: wall-clock deadline exceeded (now=%d, pending=%d, fired=%d)",
+			e.Now(), e.Pending(), e.fired))
+	}
 	ev.fn(ev.arg)
 	return true
+}
+
+// Deadline arms runaway protection: once wall-clock time advances by d,
+// the next deadline check (every 1024 events) aborts Run with a panic
+// carrying now/pending/fired diagnostics — a hung sweep point fails loudly
+// instead of pinning a worker forever. Nonpositive d clears the deadline.
+// Unlike Limit, the trigger is host time, so it catches simulations that
+// are merely slow, not just event storms.
+func (e *Engine) Deadline(d time.Duration) {
+	if d <= 0 {
+		e.deadline = time.Time{}
+		return
+	}
+	e.deadline = time.Now().Add(d)
 }
 
 // Run executes events until the queue is empty or Stop is called.

@@ -10,19 +10,20 @@ type attrBucket int
 
 // Attribution buckets.
 const (
-	attrCompute attrBucket = iota // workload execution
-	attrOnChip                    // L1/L2/LLC latency
-	attrWalk                      // page-table walks
-	attrDRAM                      // DRAM-cache hit service
-	attrFlash                     // waiting on flash fetches
-	attrSched                     // flush + switch + wait-for-core after ready
-	attrOS                        // page-fault path, context switches, shootdowns
+	attrCompute    attrBucket = iota // workload execution
+	attrOnChip                       // L1/L2/LLC latency
+	attrWalk                         // page-table walks
+	attrDRAM                         // DRAM-cache hit service
+	attrFlash                        // waiting on flash fetches
+	attrFlashRetry                   // read-retry ladder + recovery time inside flash waits
+	attrSched                        // flush + switch + wait-for-core after ready
+	attrOS                           // page-fault path, context switches, shootdowns
 	attrBucketCount
 )
 
 // attrNames in presentation order.
 var attrNames = [attrBucketCount]string{
-	"compute", "on-chip", "pt-walk", "dram-cache", "flash-wait", "scheduling", "os-paging",
+	"compute", "on-chip", "pt-walk", "dram-cache", "flash-wait", "flash-retry", "scheduling", "os-paging",
 }
 
 // attribution accumulates per-bucket nanoseconds during the measurement

@@ -38,6 +38,20 @@ type Result struct {
 	GCRuns             uint64
 	GCBlockedFraction  float64
 	ForcedSyncCount    uint64
+	// P99FlashReadNs is the device-level read-latency tail (queueing +
+	// retry ladder + transfer), cumulative over the whole run.
+	P99FlashReadNs int64
+
+	// Fault-injection observables (all zero on fault-free runs).
+	FlashRetriedReads   uint64 // reads that needed >=1 read-retry step
+	FlashUncorrectables uint64 // reads that defeated the whole ladder
+	FlashRecovered      uint64 // reads served from the FTL's recovered copy
+	FlashRemapMoves     uint64 // pages migrated off failed cells/blocks
+	FlashBadBlocks      uint64 // blocks retired as bad (cumulative)
+	BCRetries           uint64 // backside-controller read re-issues
+	BCTimeouts          uint64 // backside-controller watchdog firings
+	BCFallbacks         uint64 // exhausted-retry recovered-copy completions
+	WriteAmplification  float64
 }
 
 func (r Result) String() string {
@@ -63,15 +77,25 @@ type statSnapshot struct {
 	dcHits, dcMisses       uint64
 	flashReads, flashWrite uint64
 	gcRuns                 uint64
+
+	retried, uncorr, recovered, remaps uint64
+	bcRetries, bcTimeouts, bcFallbacks uint64
 }
 
 func (s *System) snapshot() statSnapshot {
 	return statSnapshot{
-		dcHits:     s.dc.Accesses.Hits,
-		dcMisses:   s.dc.Accesses.Misses,
-		flashReads: s.flash.Reads.Value(),
-		flashWrite: s.flash.Writes.Value(),
-		gcRuns:     s.flash.GCRuns.Value(),
+		dcHits:      s.dc.Accesses.Hits,
+		dcMisses:    s.dc.Accesses.Misses,
+		flashReads:  s.flash.Reads.Value(),
+		flashWrite:  s.flash.Writes.Value(),
+		gcRuns:      s.flash.GCRuns.Value(),
+		retried:     s.flash.RetriedReads.Value(),
+		uncorr:      s.flash.Uncorrectables.Value(),
+		recovered:   s.flash.RecoveredReads.Value(),
+		remaps:      s.flash.RemapMoves.Value(),
+		bcRetries:   s.dc.FlashRetries.Value(),
+		bcTimeouts:  s.dc.FlashTimeouts.Value(),
+		bcFallbacks: s.dc.FlashFallbacks.Value(),
 	}
 }
 
@@ -110,6 +134,17 @@ func (s *System) collect(windowNs int64, snap statSnapshot) Result {
 		GCRuns:             s.flash.GCRuns.Value() - snap.gcRuns,
 		GCBlockedFraction:  s.flash.BlockedReadFraction(),
 		ForcedSyncCount:    s.ForcedSync.Value(),
+		P99FlashReadNs:     s.flash.ReadLatHist.Percentile(99),
+
+		FlashRetriedReads:   s.flash.RetriedReads.Value() - snap.retried,
+		FlashUncorrectables: s.flash.Uncorrectables.Value() - snap.uncorr,
+		FlashRecovered:      s.flash.RecoveredReads.Value() - snap.recovered,
+		FlashRemapMoves:     s.flash.RemapMoves.Value() - snap.remaps,
+		FlashBadBlocks:      s.flash.BadBlocks.Value(),
+		BCRetries:           s.dc.FlashRetries.Value() - snap.bcRetries,
+		BCTimeouts:          s.dc.FlashTimeouts.Value() - snap.bcTimeouts,
+		BCFallbacks:         s.dc.FlashFallbacks.Value() - snap.bcFallbacks,
+		WriteAmplification:  s.flash.WriteAmplification(),
 	}
 	return res
 }

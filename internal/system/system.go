@@ -8,6 +8,7 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"astriflash/internal/cachehier"
 	"astriflash/internal/cpu"
@@ -105,6 +106,16 @@ type Config struct {
 	OSCosts          ospaging.Costs
 	Shootdown        tlbvm.ShootdownModel
 	CPU              cpu.Config
+
+	// FlashReadTimeoutNs arms the backside controller's per-read watchdog
+	// (0 disables it); FlashReadRetries bounds BC re-issues after a timeout
+	// or uncorrectable before falling back to the FTL's recovered copy.
+	FlashReadTimeoutNs int64
+	FlashReadRetries   int
+
+	// RunDeadline aborts the simulation (with engine diagnostics) if a
+	// single run exceeds this much wall-clock time. 0 means no deadline.
+	RunDeadline time.Duration
 
 	// FlatPTAccessNs prices one page-table level in the flat DRAM
 	// partition (all modes except noDP).
@@ -224,12 +235,33 @@ func New(cfg Config) (*System, error) {
 		3*cfg.Cores > cfg.Flash.Channels {
 		cfg.Flash.Channels = 3 * cfg.Cores
 	}
-	fl := flash.NewDevice(eng, cfg.Flash)
 
 	datasetPages := wl.DatasetPages()
+	// Page tables live right above the dataset in the flash-mapped
+	// physical address space, so the device must cover both. Sizing is
+	// decided before the device is built: the flash address space no
+	// longer wraps, so a too-small geometry is grown (keeping the chosen
+	// channel/plane parallelism) instead of silently aliasing LPNs.
+	ptFan := cfg.PTFanoutLog
+	if ptFan == 0 {
+		ptFan = 9
+	}
+	pt := tlbvm.NewPageTableFanout(datasetPages, mem.PageNum(datasetPages), ptFan)
+	for cfg.Flash.BlocksPerPlane > 0 &&
+		cfg.Flash.LogicalPages() < datasetPages+pt.TotalPages() {
+		cfg.Flash.BlocksPerPlane *= 2
+	}
+	// Fault injection draws from a device-local stream derived from the
+	// run seed; fault-free devices never consult it.
+	if cfg.Flash.Seed == 0 {
+		cfg.Flash.Seed = cfg.Seed
+	}
+	fl := flash.NewDevice(eng, cfg.Flash)
 	cachePages := uint64(float64(datasetPages) * cfg.DRAMCacheFraction)
 	dcCfg := dramcache.DefaultConfig(roundUpWays(cachePages, 16))
 	dcCfg.Replacement = cfg.CacheReplacement
+	dcCfg.FlashReadTimeoutNs = cfg.FlashReadTimeoutNs
+	dcCfg.FlashReadRetries = cfg.FlashReadRetries
 	dc := dramcache.New(eng, dcCfg, dev, fl)
 	if cfg.FootprintCache {
 		dc.EnableFootprint(dramcache.DefaultFootprintConfig())
@@ -246,14 +278,13 @@ func New(cfg Config) (*System, error) {
 		recorder:     loadgen.NewRecorder(),
 		MissInterval: stats.NewHistogram(),
 	}
-
-	// Page tables live right above the dataset in the flash-mapped
-	// physical address space.
-	ptFan := cfg.PTFanoutLog
-	if ptFan == 0 {
-		ptFan = 9
+	s.pt = pt
+	// Retry-ladder and recovery time surfaces as its own attribution
+	// bucket (a sub-slice of flash-wait, zero when faults are off).
+	fl.RetryHook = func(ns int64) { s.attr.add(s, attrFlashRetry, ns) }
+	if cfg.RunDeadline > 0 {
+		eng.Deadline(cfg.RunDeadline)
 	}
-	s.pt = tlbvm.NewPageTableFanout(datasetPages, mem.PageNum(datasetPages), ptFan)
 
 	if cfg.Mode == OSSwap {
 		s.kernel = ospaging.NewKernel(eng, cfg.OSCosts, cfg.Shootdown, cfg.Cores)

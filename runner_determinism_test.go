@@ -55,6 +55,13 @@ func TestSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
 			}
 			return RenderGC(pts), nil
 		},
+		"faults": func(cfg ExpConfig) (string, error) {
+			pts, err := FaultsSweep(cfg, "tatp", []float64{0, 3e-3})
+			if err != nil {
+				return "", err
+			}
+			return RenderFaults(pts), nil
+		},
 	}
 	for name, fn := range render {
 		name, fn := name, fn
