@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race verify-race bench bench-engine figures
+.PHONY: build test verify vet race verify-race lint-docs bench bench-engine figures trace-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,10 @@ race:
 ## Tier-2 verify: vet + race detector over the whole tree.
 verify-race: vet race
 
+## Documentation lint: every package must carry a package doc comment.
+lint-docs:
+	$(GO) run ./tools/lintdocs
+
 ## Engine/stats microbenchmarks (allocation counts included).
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkHistogram' -benchmem ./internal/sim ./internal/stats
@@ -38,3 +42,8 @@ bench:
 ## Regenerate every paper figure/table via cmd/astribench.
 figures:
 	$(GO) run ./cmd/astribench
+
+## Short traced run + per-stage latency breakdown (CI uploads the output).
+trace-smoke:
+	$(GO) run ./cmd/astribench -trace trace-smoke.json -cores 4 -dataset 16 -measure 3
+	$(GO) run ./cmd/astritrace analyze -in trace-smoke.json | tee stage-breakdown.txt

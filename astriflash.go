@@ -298,6 +298,12 @@ type Metrics struct {
 	BCTimeouts          uint64
 	BCFallbacks         uint64
 	WriteAmplification  float64
+
+	// Counters is the metrics registry's full window view: every
+	// registered counter's delta over the measurement window, keyed by
+	// dotted name (system.*, dramcache.*, flash.*, uthread.coreN.*). The
+	// named fields above are stable views into the same registry.
+	Counters map[string]uint64
 }
 
 func fromResult(r system.Result) Metrics {
@@ -332,6 +338,7 @@ func fromResult(r system.Result) Metrics {
 		BCTimeouts:          r.BCTimeouts,
 		BCFallbacks:         r.BCFallbacks,
 		WriteAmplification:  r.WriteAmplification,
+		Counters:            r.Counters,
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = auto: ASTRIFLASH_WORKERS, then NumCPU); results are identical for any value")
 		plot      = flag.Bool("plot", false, "render fig3/fig10 as ASCII charts too")
 		timeout   = flag.Duration("timeout", 0, "abort any single sweep point after this much wall-clock time, with now/pending/fired engine diagnostics (0 = no limit)")
+		traceOut  = flag.String("trace", "", "instead of -exp, run a fig-10-style traced run (DRAM-only saturated baseline + AstriFlash under Poisson load) and write its span trace to this file; analyze with 'astritrace analyze -in FILE'")
 	)
 	flag.Parse()
 
@@ -43,6 +44,14 @@ func main() {
 	cfg.PointTimeout = *timeout
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+
+	if *traceOut != "" {
+		if err := runTraced(cfg, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	selected := map[string]bool{}
@@ -169,4 +178,34 @@ func main() {
 	}
 	fmt.Printf("total: %d simulation points in %.1fs wall time (%.1f points/sec, workers=%d)\n",
 		points, wall, rate, runner.Workers(*workers))
+}
+
+// runTraced captures the -trace run: spans go to path, the per-point
+// metrics summary to stdout. Trace volume scales with -measure; a few
+// simulated ms is plenty for a stage breakdown.
+func runTraced(cfg astriflash.ExpConfig, path string) error {
+	start := time.Now()
+	tc, err := astriflash.TraceTailRun(cfg, "tatp", nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, p := range tc.Points {
+		fmt.Printf("point %-22s  %8.0f jobs/s  p99 svc %6.1f us  miss %.2f%%\n",
+			p.Label, p.Metrics.ThroughputJPS,
+			float64(p.Metrics.P99ServiceNs)/1000, p.Metrics.DRAMCacheMissRatio*100)
+	}
+	fmt.Printf("wrote %d spans to %s in %.1fs; run 'astritrace analyze -in %s' for the stage breakdown\n",
+		len(tc.Spans()), path, time.Since(start).Seconds(), path)
+	return nil
 }

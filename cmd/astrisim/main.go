@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"astriflash"
@@ -42,6 +43,8 @@ func main() {
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in jobs/s (0 = saturated closed loop)")
 		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		traceOut  = flag.String("trace", "", "write the run's lifecycle-span trace to this file (Chrome trace-event JSON; analyze with 'astritrace analyze')")
+		counters  = flag.Bool("counters", false, "also print every registry counter's window delta")
 	)
 	flag.Parse()
 
@@ -67,6 +70,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		machine.EnableTracing()
 	}
 
 	warm := *warmupMs * 1_000_000
@@ -95,5 +102,33 @@ func main() {
 		res.FlashReads, res.FlashWrites, res.GCRuns, res.GCBlockedFraction*100)
 	if res.ForcedSyncCount > 0 {
 		fmt.Printf("forced sync       %d forward-progress completions\n", res.ForcedSyncCount)
+	}
+	if *counters {
+		names := make([]string, 0, len(res.Counters))
+		for n := range res.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("\nregistry counters (window deltas):")
+		for _, n := range names {
+			fmt.Printf("  %-40s %d\n", n, res.Counters[n])
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := machine.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d spans to %s (analyze with 'astritrace analyze -in %s')\n",
+			machine.TraceSpanCount(), *traceOut, *traceOut)
 	}
 }

@@ -4,11 +4,18 @@
 // analytical counterpart via Mattson stack distances), and the hottest
 // pages; traces can be saved for replay through the simulator.
 //
+// The analyze subcommand reads a lifecycle-span trace (written by
+// `astribench -trace` or `astrisim -trace`), reconstructs each request's
+// critical path, and prints the per-stage p50/p99/p99.9 breakdown, the
+// tail anatomy (which stage makes the 99th percentile), the BC fetch
+// pipeline, and annotated timelines of the slowest requests.
+//
 // Usage:
 //
 //	astritrace -workload tatp -jobs 2000
 //	astritrace -workload silo -jobs 5000 -out silo.trace
 //	astritrace -in silo.trace
+//	astritrace analyze -in spans.json [-slowest 3]
 package main
 
 import (
@@ -17,12 +24,44 @@ import (
 	"os"
 
 	"astriflash/internal/mem"
+	"astriflash/internal/obs"
 	"astriflash/internal/stats"
 	"astriflash/internal/trace"
 	"astriflash/internal/workload"
 )
 
+// runAnalyze is the span-trace analysis mode.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "span trace file (from 'astribench -trace' or 'astrisim -trace')")
+	slowest := fs.Int("slowest", 3, "slow-request timelines to print")
+	fs.Parse(args)
+	if *in == "" && fs.NArg() > 0 {
+		*in = fs.Arg(0)
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "analyze: need a trace file (-in spans.json)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spans, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(obs.Analyze(spans, obs.AnalyzeOptions{Slowest: *slowest}).String())
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	var (
 		wlFlag    = flag.String("workload", "tatp", "workload to capture")
 		jobs      = flag.Int("jobs", 2000, "jobs to capture")

@@ -1,6 +1,7 @@
 package astriflash
 
 import (
+	"reflect"
 	"testing"
 
 	"astriflash/internal/runner"
@@ -121,7 +122,7 @@ func TestFaultsRBERZeroMatchesFaultFreeRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := pts[mi].Metrics
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("RBER=0 sweep cell diverged from fault-free run:\n got %+v\nwant %+v", got, want)
 	}
 }

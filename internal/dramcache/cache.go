@@ -6,6 +6,7 @@ import (
 	"astriflash/internal/dram"
 	"astriflash/internal/flash"
 	"astriflash/internal/mem"
+	"astriflash/internal/obs"
 	"astriflash/internal/sim"
 	"astriflash/internal/stats"
 )
@@ -89,6 +90,12 @@ func DefaultConfig(pages uint64) Config {
 	return cfg
 }
 
+// msrWaiter is one miss stalled on a full MSR set.
+type msrWaiter struct {
+	page mem.PageNum
+	at   sim.Time
+}
+
 type line struct {
 	page      mem.PageNum
 	valid     bool
@@ -122,8 +129,16 @@ type Cache struct {
 	// pinned holds reference counts for pages that must not be evicted:
 	// the OS pins a faulted-in page until the faulting task has used it.
 	pinned map[mem.PageNum]int
-	// msrWait queues misses that found their MSR set full.
-	msrWait []mem.PageNum
+	// msrWait queues misses that found their MSR set full, with their
+	// arrival times so the queueing delay is observable.
+	msrWait []msrWaiter
+
+	// Trace, when non-nil, receives fetch-pipeline spans (observe.go). Set
+	// by the system layer for the measurement window of traced runs.
+	Trace *obs.Tracer
+	// traceFetch maps in-flight pages to fetch correlation IDs; allocated
+	// lazily, only ever populated while Trace is set.
+	traceFetch map[mem.PageNum]uint64
 	// fp is the optional footprint-fetch extension (footprint.go).
 	fp *footprintState
 	// fpPending marks resident pages with an in-flight secondary fetch
@@ -384,6 +399,9 @@ func (c *Cache) fetchUnderpredicted(p mem.PageNum, at sim.Time) {
 		c.flash.Read(p, func(arrive sim.Time) {
 			row := c.dram.RowOf(c.setOf(p))
 			wrDone := c.dram.Access(arrive, row, 1) + c.cfg.BCOpNs
+			c.fetchSpan(p, obs.StageFlashRead, at, arrive)
+			c.fetchSpan(p, obs.StageFill, arrive, wrDone)
+			c.endFetch(p)
 			delete(c.fpPending, p)
 			cbs := c.waiters[p]
 			delete(c.waiters, p)
@@ -402,6 +420,7 @@ func (c *Cache) fetchUnderpredicted(p mem.PageNum, at sim.Time) {
 func (c *Cache) handleMiss(p mem.PageNum, write bool, at sim.Time) {
 	// One CAS to probe the MSR row plus BC occupancy.
 	probeDone := c.dram.Access(at, c.msrRow, 1) + c.cfg.BCOpNs
+	c.fetchSpan(p, obs.StageMSRProbe, at, probeDone)
 
 	switch c.msr.Allocate(p) {
 	case AllocDup:
@@ -412,7 +431,7 @@ func (c *Cache) handleMiss(p mem.PageNum, write bool, at sim.Time) {
 	case AllocFull:
 		// No free entry: BC waits for pending requests to drain and
 		// retries; the miss is queued in arrival order.
-		c.msrWait = append(c.msrWait, p)
+		c.msrWait = append(c.msrWait, msrWaiter{page: p, at: probeDone})
 		return
 	case AllocNew:
 	}
@@ -439,6 +458,11 @@ func (c *Cache) launchFetch(p mem.PageNum, at sim.Time) {
 // faults off and no watchdog this reduces to exactly one read.
 func (c *Cache) fetchFromFlash(p mem.PageNum, reqTime sim.Time, attempt int) {
 	settled := false
+	issued := c.eng.Now()
+	attemptStage := obs.StageFlashRead
+	if attempt > 0 {
+		attemptStage = obs.StageFlashRetry
+	}
 	if c.cfg.FlashReadTimeoutNs > 0 {
 		c.eng.After(c.cfg.FlashReadTimeoutNs, func() {
 			if settled {
@@ -446,6 +470,7 @@ func (c *Cache) fetchFromFlash(p mem.PageNum, reqTime sim.Time, attempt int) {
 			}
 			settled = true
 			c.FlashTimeouts.Inc()
+			c.fetchSpan(p, attemptStage, issued, c.eng.Now())
 			c.retryOrFallback(p, reqTime, attempt)
 		})
 	}
@@ -456,9 +481,11 @@ func (c *Cache) fetchFromFlash(p mem.PageNum, reqTime sim.Time, attempt int) {
 		settled = true
 		if r.Err != nil {
 			c.FlashUncorrectable.Inc()
+			c.fetchSpan(p, attemptStage, issued, c.eng.Now())
 			c.retryOrFallback(p, reqTime, attempt)
 			return
 		}
+		c.fetchSpan(p, attemptStage, issued, r.At)
 		c.install(p, r.At, reqTime)
 	})
 }
@@ -472,7 +499,9 @@ func (c *Cache) retryOrFallback(p mem.PageNum, reqTime sim.Time, attempt int) {
 		return
 	}
 	c.FlashFallbacks.Inc()
+	issued := c.eng.Now()
 	c.flash.ReadRecovered(p, func(at sim.Time) {
+		c.fetchSpan(p, obs.StageFlashFallback, issued, at)
 		c.install(p, at, reqTime)
 	})
 }
@@ -589,6 +618,8 @@ func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
 	c.Installs.Inc()
 	c.msr.Complete(p)
 	c.RefillLat.Record(wrDone - reqTime)
+	c.fetchSpan(p, obs.StageFill, at, wrDone)
+	c.endFetch(p)
 
 	cbs := c.waiters[p]
 	delete(c.waiters, p)
@@ -605,12 +636,14 @@ func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
 // drainMSRWait retries queued misses that previously found their MSR set
 // full. Entries whose set is still full stay queued.
 func (c *Cache) drainMSRWait(at sim.Time) {
-	var rest []mem.PageNum
-	for i, p := range c.msrWait {
-		switch c.msr.Allocate(p) {
+	var rest []msrWaiter
+	for i, w := range c.msrWait {
+		switch c.msr.Allocate(w.page) {
 		case AllocNew:
-			c.launchFetch(p, at)
+			c.fetchSpan(w.page, obs.StageMSRWait, w.at, at)
+			c.launchFetch(w.page, at)
 		case AllocDup:
+			c.fetchSpan(w.page, obs.StageMSRWait, w.at, at)
 			c.MergedMiss.Inc()
 		case AllocFull:
 			rest = append(rest, c.msrWait[i])

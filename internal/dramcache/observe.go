@@ -1,0 +1,63 @@
+package dramcache
+
+// Observability for the backside controller's fetch pipeline: when the
+// system attaches a tracer (measurement windows only), every in-flight
+// page fetch gets a correlation ID and emits spans for the MSR probe, MSR
+// queueing, each flash read attempt of the retry ladder, the recovered-
+// copy fallback, and the DRAM fill. With Trace nil the instrumentation is
+// a handful of predicted branches and no state.
+
+import (
+	"astriflash/internal/mem"
+	"astriflash/internal/obs"
+	"astriflash/internal/sim"
+)
+
+// RegisterMetrics names the cache's counters, gauges, and histograms in r.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("dramcache.hits", func() uint64 { return c.Accesses.Hits })
+	r.CounterFunc("dramcache.misses", func() uint64 { return c.Accesses.Misses })
+	r.Counter("dramcache.evictions", &c.Evictions)
+	r.Counter("dramcache.dirty_writebacks", &c.DirtyWB)
+	r.Counter("dramcache.installs", &c.Installs)
+	r.Counter("dramcache.merged_misses", &c.MergedMiss)
+	r.Counter("dramcache.bc_retries", &c.FlashRetries)
+	r.Counter("dramcache.bc_timeouts", &c.FlashTimeouts)
+	r.Counter("dramcache.bc_uncorrectable", &c.FlashUncorrectable)
+	r.Counter("dramcache.bc_fallbacks", &c.FlashFallbacks)
+	r.Gauge("dramcache.pinned_pages", func() float64 { return float64(len(c.pinned)) })
+	r.Gauge("dramcache.pending_misses", func() float64 { return float64(c.PendingMisses()) })
+	r.Histogram("dramcache.hit_latency_ns", c.HitLat)
+	r.Histogram("dramcache.miss_signal_ns", c.MissLat)
+	r.Histogram("dramcache.refill_latency_ns", c.RefillLat)
+}
+
+// fetchID returns the page's in-flight fetch correlation ID, allocating
+// one on first use. Only called with Trace non-nil.
+func (c *Cache) fetchID(p mem.PageNum) uint64 {
+	if c.traceFetch == nil {
+		c.traceFetch = make(map[mem.PageNum]uint64)
+	}
+	if id, ok := c.traceFetch[p]; ok {
+		return id
+	}
+	id := c.Trace.NextFetchID()
+	c.traceFetch[p] = id
+	return id
+}
+
+// fetchSpan emits one fetch-scoped span for page p's in-flight fetch.
+func (c *Cache) fetchSpan(p mem.PageNum, st obs.Stage, start, end sim.Time) {
+	if c.Trace == nil || end <= start {
+		return
+	}
+	c.Trace.Emit(obs.Span{Fetch: c.fetchID(p), Core: -1, Stage: st,
+		Page: uint64(p), Start: start, End: end})
+}
+
+// endFetch closes out page p's fetch ID after its fill span.
+func (c *Cache) endFetch(p mem.PageNum) {
+	if c.traceFetch != nil {
+		delete(c.traceFetch, p)
+	}
+}

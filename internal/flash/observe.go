@@ -1,0 +1,22 @@
+package flash
+
+import "astriflash/internal/obs"
+
+// RegisterMetrics names the device's counters, gauges, and histograms in r.
+func (d *Device) RegisterMetrics(r *obs.Registry) {
+	r.Counter("flash.reads", &d.Reads)
+	r.Counter("flash.writes", &d.Writes)
+	r.Counter("flash.gc_runs", &d.GCRuns)
+	r.Counter("flash.gc_page_moves", &d.GCPageMoves)
+	r.Counter("flash.gc_blocked_reads", &d.BlockedByGC)
+	r.Counter("flash.retried_reads", &d.RetriedReads)
+	r.Counter("flash.retry_steps", &d.RetryStepsTot)
+	r.Counter("flash.uncorrectable_reads", &d.Uncorrectables)
+	r.Counter("flash.recovered_reads", &d.RecoveredReads)
+	r.Counter("flash.bad_blocks", &d.BadBlocks)
+	r.Counter("flash.remap_moves", &d.RemapMoves)
+	r.Gauge("flash.write_amplification", d.WriteAmplification)
+	r.Gauge("flash.gc_blocked_read_fraction", d.BlockedReadFraction)
+	r.Histogram("flash.read_latency_ns", d.ReadLatHist)
+	r.Histogram("flash.write_latency_ns", d.WriteLatHist)
+}

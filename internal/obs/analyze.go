@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"astriflash/internal/stats"
+)
+
+// The analyzer reconstructs per-request critical paths from a span stream:
+// it groups request-scoped spans by (point, request), sums per-stage time,
+// and reports which stage makes the tail. A request is "complete" when the
+// trace holds both its queue span and its complete marker; requests cut off
+// by the measurement-window edge are counted but excluded from statistics.
+
+// AnalyzeOptions tunes report construction.
+type AnalyzeOptions struct {
+	// Slowest is how many slow-request timelines to include (default 3).
+	Slowest int
+}
+
+// StageRow is the distribution of one stage's per-request (or, for fetch
+// stages, per-span) time.
+type StageRow struct {
+	Stage   Stage
+	Count   int   // requests (spans) with nonzero time in this stage
+	P50Ns   int64 // percentiles over those nonzero participants
+	P99Ns   int64
+	P999Ns  int64
+	TotalNs int64
+	// Share is TotalNs over the summed service time (request stages only).
+	Share float64
+}
+
+// RequestPath is one reconstructed request for the slow-request timelines.
+type RequestPath struct {
+	Point     int
+	Req       uint64
+	Core      int
+	QueueNs   int64
+	ServiceNs int64
+	Spans     []Span // the request's service spans, time-ordered
+}
+
+// Report is the result of analyzing a span stream.
+type Report struct {
+	Spans    int
+	Points   []int // distinct sweep points, ascending
+	Requests int   // distinct requests seen
+	Complete int   // requests with both endpoints inside the trace
+	Partial  int   // requests cut off by the window edge (excluded)
+
+	// ServiceRow is the end-to-end service-time distribution over complete
+	// requests; StageRows are its per-stage decomposition.
+	ServiceRow StageRow
+	StageRows  []StageRow
+	// FetchRows decompose the BC page-fetch pipeline (per span).
+	FetchRows []StageRow
+
+	// Reconciled counts complete requests whose stage sum equals their
+	// end-to-end service time exactly; MaxDriftNs is the worst deviation.
+	Reconciled int
+	MaxDriftNs int64
+
+	// TailShares compares each stage's share of service time inside the
+	// slowest 1% of requests against its overall share: the "which stage
+	// makes the p99" answer.
+	TailShares []TailShare
+
+	Slowest []RequestPath
+}
+
+// TailShare is one stage's overall-vs-tail time share.
+type TailShare struct {
+	Stage        Stage
+	OverallShare float64
+	TailShare    float64
+}
+
+type reqKey struct {
+	point int
+	req   uint64
+}
+
+type reqAgg struct {
+	key      reqKey
+	core     int
+	stages   [stageCount]int64
+	hasQueue bool
+	queueEnd int64
+	arrived  int64
+	done     int64
+	complete bool
+	spans    []Span
+}
+
+// Analyze builds a Report from a span stream (any order).
+func Analyze(spans []Span, opts AnalyzeOptions) *Report {
+	if opts.Slowest <= 0 {
+		opts.Slowest = 3
+	}
+	rep := &Report{Spans: len(spans)}
+
+	aggs := make(map[reqKey]*reqAgg)
+	points := make(map[int]bool)
+	fetchDur := make(map[Stage][]int64)
+	for _, sp := range spans {
+		points[sp.Point] = true
+		if !sp.Stage.RequestScoped() {
+			fetchDur[sp.Stage] = append(fetchDur[sp.Stage], sp.Dur())
+			continue
+		}
+		k := reqKey{sp.Point, sp.Req}
+		a := aggs[k]
+		if a == nil {
+			a = &reqAgg{key: k, core: sp.Core}
+			aggs[k] = a
+		}
+		switch sp.Stage {
+		case StageQueue:
+			a.hasQueue = true
+			a.arrived = sp.Start
+			a.queueEnd = sp.End
+		case StageComplete:
+			a.complete = true
+			a.done = sp.End
+		default:
+			a.stages[sp.Stage] += sp.Dur()
+			a.spans = append(a.spans, sp)
+		}
+	}
+	for p := range points {
+		rep.Points = append(rep.Points, p)
+	}
+	sort.Ints(rep.Points)
+
+	// Keep only fully captured requests, ordered deterministically.
+	var done []*reqAgg
+	for _, a := range aggs {
+		rep.Requests++
+		if a.hasQueue && a.complete {
+			done = append(done, a)
+		} else {
+			rep.Partial++
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].key.point != done[j].key.point {
+			return done[i].key.point < done[j].key.point
+		}
+		return done[i].key.req < done[j].key.req
+	})
+	rep.Complete = len(done)
+
+	// Per-stage and end-to-end distributions, plus reconciliation.
+	perStage := make(map[Stage][]int64)
+	var services []int64
+	var totalService int64
+	stageTotal := make(map[Stage]int64)
+	for _, a := range done {
+		svc := a.done - a.queueEnd
+		services = append(services, svc)
+		totalService += svc
+		var sum int64
+		for st := StageCompute; st < StageComplete; st++ {
+			d := a.stages[st]
+			sum += d
+			if d > 0 {
+				perStage[st] = append(perStage[st], d)
+				stageTotal[st] += d
+			}
+		}
+		drift := sum - svc
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift == 0 {
+			rep.Reconciled++
+		}
+		if drift > rep.MaxDriftNs {
+			rep.MaxDriftNs = drift
+		}
+	}
+	rep.ServiceRow = distRow(StageComplete, services, totalService, totalService)
+	rep.ServiceRow.Stage = stageCount // sentinel; printed as "service"
+	for st := StageCompute; st < StageComplete; st++ {
+		if vs := perStage[st]; len(vs) > 0 {
+			rep.StageRows = append(rep.StageRows, distRow(st, vs, stageTotal[st], totalService))
+		}
+	}
+	for st := StageMSRProbe; st < stageCount; st++ {
+		if vs := fetchDur[st]; len(vs) > 0 {
+			var tot int64
+			for _, v := range vs {
+				tot += v
+			}
+			rep.FetchRows = append(rep.FetchRows, distRow(st, vs, tot, 0))
+		}
+	}
+
+	// Tail anatomy: the slowest 1% of complete requests (at least one).
+	if len(done) > 0 {
+		bySvc := make([]*reqAgg, len(done))
+		copy(bySvc, done)
+		sort.SliceStable(bySvc, func(i, j int) bool {
+			return (bySvc[i].done - bySvc[i].queueEnd) > (bySvc[j].done - bySvc[j].queueEnd)
+		})
+		n := len(bySvc) / 100
+		if n < 1 {
+			n = 1
+		}
+		tail := bySvc[:n]
+		tailStage := make(map[Stage]int64)
+		var tailTotal int64
+		for _, a := range tail {
+			for st := StageCompute; st < StageComplete; st++ {
+				tailStage[st] += a.stages[st]
+			}
+			tailTotal += a.done - a.queueEnd
+		}
+		for st := StageCompute; st < StageComplete; st++ {
+			if stageTotal[st] == 0 && tailStage[st] == 0 {
+				continue
+			}
+			ts := TailShare{Stage: st}
+			if totalService > 0 {
+				ts.OverallShare = float64(stageTotal[st]) / float64(totalService)
+			}
+			if tailTotal > 0 {
+				ts.TailShare = float64(tailStage[st]) / float64(tailTotal)
+			}
+			rep.TailShares = append(rep.TailShares, ts)
+		}
+		k := opts.Slowest
+		if k > len(bySvc) {
+			k = len(bySvc)
+		}
+		for _, a := range bySvc[:k] {
+			sort.SliceStable(a.spans, func(i, j int) bool { return a.spans[i].Start < a.spans[j].Start })
+			rep.Slowest = append(rep.Slowest, RequestPath{
+				Point:     a.key.point,
+				Req:       a.key.req,
+				Core:      a.core,
+				QueueNs:   a.queueEnd - a.arrived,
+				ServiceNs: a.done - a.queueEnd,
+				Spans:     a.spans,
+			})
+		}
+	}
+	return rep
+}
+
+// distRow builds one percentile row from raw durations.
+func distRow(st Stage, vs []int64, total, grand int64) StageRow {
+	sorted := make([]int64, len(vs))
+	copy(sorted, vs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	row := StageRow{
+		Stage:   st,
+		Count:   len(vs),
+		P50Ns:   rank(sorted, 50),
+		P99Ns:   rank(sorted, 99),
+		P999Ns:  rank(sorted, 99.9),
+		TotalNs: total,
+	}
+	if grand > 0 {
+		row.Share = float64(total) / float64(grand)
+	}
+	return row
+}
+
+// rank is the nearest-rank percentile of an ascending slice.
+func rank(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String renders the report as the stage-breakdown tables astritrace
+// analyze prints. Output is deterministic for a given span set.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans %d  points %v  requests %d (complete %d, window-partial %d)\n",
+		r.Spans, r.Points, r.Requests, r.Complete, r.Partial)
+	if r.Complete == 0 {
+		b.WriteString("no complete requests in trace\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "reconciliation: %d/%d requests' stage sums match end-to-end service exactly (max drift %d ns)\n\n",
+		r.Reconciled, r.Complete, r.MaxDriftNs)
+
+	tb := &stats.Table{Header: []string{"stage", "reqs", "p50", "p99", "p99.9", "share"}}
+	for _, row := range r.StageRows {
+		tb.AddRow(row.Stage.String(), fmt.Sprintf("%d", row.Count),
+			fmtNs(row.P50Ns), fmtNs(row.P99Ns), fmtNs(row.P999Ns),
+			fmt.Sprintf("%.1f%%", row.Share*100))
+	}
+	tb.AddRow("service (end-to-end)", fmt.Sprintf("%d", r.ServiceRow.Count),
+		fmtNs(r.ServiceRow.P50Ns), fmtNs(r.ServiceRow.P99Ns), fmtNs(r.ServiceRow.P999Ns), "100.0%")
+	b.WriteString("per-request stage breakdown (percentiles over requests with time in the stage):\n")
+	b.WriteString(tb.String())
+
+	if len(r.TailShares) > 0 {
+		b.WriteString("\ntail anatomy (slowest 1% of requests vs all):\n")
+		tt := &stats.Table{Header: []string{"stage", "overall", "slowest 1%"}}
+		for _, ts := range r.TailShares {
+			tt.AddRow(ts.Stage.String(),
+				fmt.Sprintf("%.1f%%", ts.OverallShare*100),
+				fmt.Sprintf("%.1f%%", ts.TailShare*100))
+		}
+		b.WriteString(tt.String())
+	}
+
+	if len(r.FetchRows) > 0 {
+		b.WriteString("\nBC page-fetch pipeline (per fetch-stage span):\n")
+		tf := &stats.Table{Header: []string{"stage", "spans", "p50", "p99", "p99.9"}}
+		for _, row := range r.FetchRows {
+			tf.AddRow(row.Stage.String(), fmt.Sprintf("%d", row.Count),
+				fmtNs(row.P50Ns), fmtNs(row.P99Ns), fmtNs(row.P999Ns))
+		}
+		b.WriteString(tf.String())
+	}
+
+	for _, rp := range r.Slowest {
+		fmt.Fprintf(&b, "\nslow request: point %d req %d core %d  queue %s  service %s\n",
+			rp.Point, rp.Req, rp.Core, fmtNs(rp.QueueNs), fmtNs(rp.ServiceNs))
+		base := int64(0)
+		if len(rp.Spans) > 0 {
+			base = rp.Spans[0].Start
+		}
+		for _, sp := range rp.Spans {
+			fmt.Fprintf(&b, "  +%-10s %-12s %s", fmtNs(sp.Start-base), sp.Stage.String(), fmtNs(sp.Dur()))
+			if sp.Page != 0 {
+				fmt.Fprintf(&b, "  page %d", sp.Page)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// fmtNs renders nanoseconds with a readable unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.2fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

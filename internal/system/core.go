@@ -7,6 +7,7 @@ import (
 	"astriflash/internal/dramcache"
 	"astriflash/internal/loadgen"
 	"astriflash/internal/mem"
+	"astriflash/internal/obs"
 	"astriflash/internal/ospaging"
 	"astriflash/internal/sim"
 	"astriflash/internal/tlbvm"
@@ -202,9 +203,17 @@ func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) 
 	if !job.started {
 		job.started = true
 		job.req.StartedAt = c.s.eng.Now()
+		if t := c.s.tr(); t != nil {
+			// Queue spans are emitted even when zero-length: the analyzer
+			// uses them to tell fully captured requests from ones that
+			// started before the measurement window.
+			t.Emit(obs.Span{Req: job.req.ID, Core: c.id, Stage: obs.StageQueue,
+				Start: job.req.ArrivedAt, End: job.req.StartedAt})
+		}
 	}
 	if job.atAccess {
 		job.atAccess = false
+		c.emitMissTail(job, c.s.eng.Now())
 		if job.readyAt > 0 {
 			// Time between the page arriving and the thread regaining
 			// the core is scheduling delay.
@@ -225,6 +234,8 @@ func (c *coreState) runStep(job *jobState) {
 	}
 	step := job.steps[job.pc]
 	c.s.attr.add(c.s, attrCompute, step.ComputeNs)
+	now := c.s.eng.Now()
+	c.span(job, obs.StageCompute, 0, now, now+step.ComputeNs)
 	c.s.eng.AfterFunc(step.ComputeNs, jobAccessEvent, job)
 }
 
@@ -235,6 +246,9 @@ func (c *coreState) complete(job *jobState) {
 	if c.s.measuring {
 		c.s.recorder.Complete(job.req)
 		c.s.JobsDone.Inc()
+	}
+	if t := c.s.tr(); t != nil {
+		t.Emit(obs.Span{Req: job.req.ID, Core: c.id, Stage: obs.StageComplete, Start: now, End: now})
 	}
 	switch {
 	case c.curTh != nil:
@@ -256,12 +270,15 @@ func (c *coreState) access(job *jobState) {
 	step := job.steps[job.pc]
 	vpn := step.Access.Page()
 	if lat, hit := c.tlb.Lookup(vpn); hit {
+		now := c.s.eng.Now()
+		c.span(job, obs.StageTLB, uint64(vpn), now, now+lat)
 		c.s.eng.AfterFunc(lat, jobChipAccessEvent, job)
 		return
 	}
 	walkStart := c.s.eng.Now()
 	c.wkr.Walk(c.s.eng, vpn, func(at sim.Time) {
 		c.s.attr.add(c.s, attrWalk, at-walkStart)
+		c.span(job, obs.StageTLB, uint64(vpn), walkStart, at)
 		c.tlb.Insert(vpn)
 		c.chipAccess(job)
 	})
@@ -272,6 +289,8 @@ func (c *coreState) chipAccess(job *jobState) {
 	step := job.steps[job.pc]
 	r := c.hier.Access(step.Access)
 	c.s.attr.add(c.s, attrOnChip, r.Latency)
+	now := c.s.eng.Now()
+	c.span(job, obs.StageOnChip, 0, now, now+r.Latency)
 	if !r.ToDRAM {
 		// The reference is served on chip; refresh the page's recency so
 		// the DRAM cache's replacement policy sees the reuse.
@@ -289,6 +308,7 @@ func (c *coreState) dramAccess(job *jobState) {
 	if c.s.cfg.Mode == DRAMOnly {
 		c.s.dc.AccessAlwaysHit(step.Access, func(r dramcache.Result) {
 			c.s.attr.add(c.s, attrDRAM, r.At-issued)
+			c.span(job, obs.StageDRAM, uint64(step.Access.Page()), issued, r.At)
 			c.hier.Fill(step.Access)
 			c.stepDone(job)
 		})
@@ -297,6 +317,7 @@ func (c *coreState) dramAccess(job *jobState) {
 	c.s.dc.Access(step.Access, func(r dramcache.Result) {
 		if r.Hit {
 			c.s.attr.add(c.s, attrDRAM, r.At-issued)
+			c.span(job, obs.StageDRAM, uint64(step.Access.Page()), issued, r.At)
 			job.faultRetries = 0
 			if job.hasPin {
 				c.s.dc.Unpin(job.pinnedPage)
@@ -306,6 +327,7 @@ func (c *coreState) dramAccess(job *jobState) {
 			c.stepDone(job)
 			return
 		}
+		c.span(job, obs.StageMissSignal, uint64(step.Access.Page()), issued, r.At)
 		c.onDRAMMiss(job)
 	})
 }
@@ -369,6 +391,7 @@ func (c *coreState) syncWait(job *jobState) {
 	start := c.s.eng.Now()
 	c.s.dc.OnPageReady(page, func(at sim.Time) {
 		c.s.attr.add(c.s, attrFlash, at-start)
+		c.span(job, obs.StageSyncWait, uint64(page), start, at)
 		c.dramAccess(job)
 	})
 }
@@ -387,10 +410,6 @@ func (c *coreState) userThreadMiss(job *jobState) {
 	now := c.s.eng.Now()
 	th := c.sched.Running()
 	page := job.steps[job.pc].Access.Page()
-
-	// Pipeline flush: the ROB is half full on average when the miss
-	// signal arrives.
-	flushCost := c.s.cfg.CPU.FlushBase + int64(c.s.cfg.CPU.ROBEntries/2)*c.s.cfg.CPU.FlushPerEntry
 
 	blockOn, switched := c.sched.OnMiss(now)
 	if !switched {
@@ -415,7 +434,9 @@ func (c *coreState) userThreadMiss(job *jobState) {
 	})
 	c.setBusy(false)
 	c.cur, c.curTh = nil, nil
-	cost := flushCost + c.sched.Config().SwitchCost
+	// Pipeline flush (the ROB is half full on average when the miss signal
+	// arrives) plus the user-level thread switch.
+	cost := c.missCost()
 	c.s.attr.add(c.s, attrSched, cost)
 	c.s.eng.AfterFunc(cost, coreKickEvent, c)
 }
@@ -443,6 +464,8 @@ func (c *coreState) osFault(job *jobState) {
 		c.s.attr.add(c.s, attrFlash, at-job.missAt)
 		installDone := c.s.kernel.InstallPage(at)
 		c.s.attr.add(c.s, attrOS, installDone-at)
+		c.span(job, obs.StageFlashWait, uint64(page), job.missAt, at)
+		c.span(job, obs.StageOSInstall, uint64(page), at, installDone)
 		c.s.eng.At(installDone, func() {
 			job.readyAt = installDone
 			c.runq.Wake(tk)

@@ -1,0 +1,113 @@
+package system
+
+// Observability wiring: the system registers every component's counters
+// into one obs.Registry at construction, and (when a tracer is attached)
+// emits per-request lifecycle spans from the core event paths. Span
+// emission is gated on the measurement window and on a nil check, so an
+// untraced run pays one predicted branch per site and a traced run is
+// bit-identical to an untraced one (the tracer schedules nothing and
+// consumes no randomness).
+
+import (
+	"fmt"
+
+	"astriflash/internal/obs"
+	"astriflash/internal/sim"
+)
+
+// registerMetrics populates the registry; called once from New after all
+// components exist.
+func (s *System) registerMetrics() {
+	r := s.metrics
+	r.Counter("system.jobs_done", &s.JobsDone)
+	r.Counter("system.miss_signals", &s.MissSignals)
+	r.Counter("system.forced_sync", &s.ForcedSync)
+	r.Histogram("system.miss_interval_ns", s.MissInterval)
+	s.dc.RegisterMetrics(r)
+	s.flash.RegisterMetrics(r)
+	for i, c := range s.cores {
+		if c.sched != nil {
+			c.sched.RegisterMetrics(r, fmt.Sprintf("uthread.core%d.", i))
+		}
+	}
+}
+
+// Metrics exposes the registry for drivers and tests.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// EnableTracing attaches t; spans are recorded during the measurement
+// window of the next run. Must be called before the run starts.
+func (s *System) EnableTracing(t *obs.Tracer) { s.trace = t }
+
+// Tracer returns the attached tracer, or nil.
+func (s *System) Tracer() *obs.Tracer { return s.trace }
+
+// tr returns the tracer when spans should be recorded, else nil. Request
+// capture follows the measurement window so trace size tracks the window;
+// requests straddling the window edge appear as partial span sets, which
+// the analyzer detects (they lack the queue span or complete marker) and
+// excludes.
+func (s *System) tr() *obs.Tracer {
+	if s.measuring {
+		return s.trace
+	}
+	return nil
+}
+
+// span records one request-scoped span, dropping zero-length segments
+// (stage markers with real zero duration would only bloat the stream; the
+// complete marker is emitted directly, not through this helper).
+func (c *coreState) span(job *jobState, st obs.Stage, page uint64, start, end sim.Time) {
+	t := c.s.tr()
+	if t == nil || end <= start {
+		return
+	}
+	t.Emit(obs.Span{Req: job.req.ID, Core: c.id, Stage: st, Page: page, Start: start, End: end})
+}
+
+// missCost is the descheduling price of one miss: ROB flush plus the
+// user-level thread switch (Section IV-C2).
+func (c *coreState) missCost() int64 {
+	return c.s.cfg.CPU.FlushBase +
+		int64(c.s.cfg.CPU.ROBEntries/2)*c.s.cfg.CPU.FlushPerEntry +
+		c.sched.Config().SwitchCost
+}
+
+// emitMissTail reconstructs, at resume time, the spans between a
+// switch-on-miss (or OS fault) and the thread regaining the core:
+// flush+switch, the flash wait, and the post-ready scheduling delay.
+// Emitted lazily at resume because only then are all boundaries known.
+func (c *coreState) emitMissTail(job *jobState, now sim.Time) {
+	t := c.s.tr()
+	if t == nil {
+		return
+	}
+	page := uint64(job.steps[job.pc].Access.Page())
+	ready := job.readyAt
+	switch {
+	case c.sched != nil:
+		// The switch window can be cut short: an aged promotion may hand
+		// the core back before flush+switch nominally ends, and before the
+		// page arrived (ready == 0, the forced-progress resume).
+		se := job.missAt + c.missCost()
+		if se > now {
+			se = now
+		}
+		if ready <= 0 || ready > now {
+			ready = now
+		}
+		if ready < se {
+			ready = se
+		}
+		c.span(job, obs.StageFlushSwitch, page, job.missAt, se)
+		c.span(job, obs.StageFlashWait, page, se, ready)
+		c.span(job, obs.StageSchedWait, page, ready, now)
+	case c.runq != nil:
+		// flash-wait and os-install were emitted by the fault's
+		// OnPageReady callback; only the run-queue delay remains.
+		if ready <= 0 || ready > now {
+			ready = now
+		}
+		c.span(job, obs.StageSchedWait, page, ready, now)
+	}
+}

@@ -52,6 +52,12 @@ type Result struct {
 	BCTimeouts          uint64 // backside-controller watchdog firings
 	BCFallbacks         uint64 // exhausted-retry recovered-copy completions
 	WriteAmplification  float64
+
+	// Counters is the full registry view of the measurement window: every
+	// registered counter's delta over the window, keyed by dotted name
+	// (system.*, dramcache.*, flash.*, uthread.coreN.*). The named fields
+	// above are views into the same registry, kept for stable access.
+	Counters map[string]uint64
 }
 
 func (r Result) String() string {
@@ -62,49 +68,29 @@ func (r Result) String() string {
 
 // spawnJob materializes a fresh workload request for core c at time now.
 func (s *System) spawnJob(c *coreState, arrived sim.Time) *jobState {
+	s.reqSeq++
 	job := &jobState{
 		core:  c,
-		req:   &loadgen.Request{ArrivedAt: arrived},
+		req:   &loadgen.Request{ID: s.reqSeq, ArrivedAt: arrived},
 		steps: s.wl.NewJob().Steps,
 	}
 	c.enqueue(job)
 	return job
 }
 
-// statSnapshot freezes cumulative counters at measurement start so
-// collect can report steady-state (window-only) values.
-type statSnapshot struct {
-	dcHits, dcMisses       uint64
-	flashReads, flashWrite uint64
-	gcRuns                 uint64
-
-	retried, uncorr, recovered, remaps uint64
-	bcRetries, bcTimeouts, bcFallbacks uint64
+// snapshot freezes the registry's cumulative counters at measurement
+// start so collect can report steady-state (window-only) values.
+func (s *System) snapshot() map[string]uint64 {
+	return s.metrics.CounterSnapshot()
 }
 
-func (s *System) snapshot() statSnapshot {
-	return statSnapshot{
-		dcHits:      s.dc.Accesses.Hits,
-		dcMisses:    s.dc.Accesses.Misses,
-		flashReads:  s.flash.Reads.Value(),
-		flashWrite:  s.flash.Writes.Value(),
-		gcRuns:      s.flash.GCRuns.Value(),
-		retried:     s.flash.RetriedReads.Value(),
-		uncorr:      s.flash.Uncorrectables.Value(),
-		recovered:   s.flash.RecoveredReads.Value(),
-		remaps:      s.flash.RemapMoves.Value(),
-		bcRetries:   s.dc.FlashRetries.Value(),
-		bcTimeouts:  s.dc.FlashTimeouts.Value(),
-		bcFallbacks: s.dc.FlashFallbacks.Value(),
-	}
-}
-
-// collect builds the Result for the measurement window.
-func (s *System) collect(windowNs int64, snap statSnapshot) Result {
+// collect builds the Result for the measurement window from the registry's
+// window deltas.
+func (s *System) collect(windowNs int64, snap map[string]uint64) Result {
 	rec := s.recorder
-	dc := s.dc
-	dHits := dc.Accesses.Hits - snap.dcHits
-	dMisses := dc.Accesses.Misses - snap.dcMisses
+	d := s.metrics.CounterDelta(snap)
+	dHits := d["dramcache.hits"]
+	dMisses := d["dramcache.misses"]
 	missRatio := 0.0
 	if dHits+dMisses > 0 {
 		missRatio = float64(dMisses) / float64(dHits+dMisses)
@@ -129,22 +115,23 @@ func (s *System) collect(windowNs int64, snap statSnapshot) Result {
 		DRAMCacheMissRatio: missRatio,
 		MissIntervalP50Ns:  s.MissInterval.Percentile(50),
 		MeanMissIntervalNs: meanIval,
-		FlashReads:         s.flash.Reads.Value() - snap.flashReads,
-		FlashWrites:        s.flash.Writes.Value() - snap.flashWrite,
-		GCRuns:             s.flash.GCRuns.Value() - snap.gcRuns,
+		FlashReads:         d["flash.reads"],
+		FlashWrites:        d["flash.writes"],
+		GCRuns:             d["flash.gc_runs"],
 		GCBlockedFraction:  s.flash.BlockedReadFraction(),
 		ForcedSyncCount:    s.ForcedSync.Value(),
 		P99FlashReadNs:     s.flash.ReadLatHist.Percentile(99),
 
-		FlashRetriedReads:   s.flash.RetriedReads.Value() - snap.retried,
-		FlashUncorrectables: s.flash.Uncorrectables.Value() - snap.uncorr,
-		FlashRecovered:      s.flash.RecoveredReads.Value() - snap.recovered,
-		FlashRemapMoves:     s.flash.RemapMoves.Value() - snap.remaps,
+		FlashRetriedReads:   d["flash.retried_reads"],
+		FlashUncorrectables: d["flash.uncorrectable_reads"],
+		FlashRecovered:      d["flash.recovered_reads"],
+		FlashRemapMoves:     d["flash.remap_moves"],
 		FlashBadBlocks:      s.flash.BadBlocks.Value(),
-		BCRetries:           s.dc.FlashRetries.Value() - snap.bcRetries,
-		BCTimeouts:          s.dc.FlashTimeouts.Value() - snap.bcTimeouts,
-		BCFallbacks:         s.dc.FlashFallbacks.Value() - snap.bcFallbacks,
+		BCRetries:           d["dramcache.bc_retries"],
+		BCTimeouts:          d["dramcache.bc_timeouts"],
+		BCFallbacks:         d["dramcache.bc_fallbacks"],
 		WriteAmplification:  s.flash.WriteAmplification(),
+		Counters:            d,
 	}
 	return res
 }
@@ -167,9 +154,13 @@ func (s *System) RunClosedLoop(inflightPerCore int, warmupNs, measureNs int64) R
 	}
 	s.eng.RunUntil(warmupNs)
 	s.measuring = true
+	if s.trace != nil {
+		s.dc.Trace = s.trace
+	}
 	snap := s.snapshot()
 	s.eng.RunUntil(warmupNs + measureNs)
 	s.measuring = false
+	s.dc.Trace = nil
 	return s.collect(measureNs, snap)
 }
 
@@ -195,10 +186,14 @@ func (s *System) RunOpenLoop(meanInterArrivalNs float64, warmupNs, measureNs int
 	s.eng.After(sim.Time(arr.NextGap()), schedule)
 	s.eng.RunUntil(warmupNs)
 	s.measuring = true
+	if s.trace != nil {
+		s.dc.Trace = s.trace
+	}
 	snap := s.snapshot()
 	s.eng.RunUntil(end)
 	// Drain: let in-flight requests finish so tail samples are complete.
 	s.eng.Run()
 	s.measuring = false
+	s.dc.Trace = nil
 	return s.collect(measureNs, snap)
 }

@@ -17,6 +17,7 @@ import (
 	"astriflash/internal/flash"
 	"astriflash/internal/loadgen"
 	"astriflash/internal/mem"
+	"astriflash/internal/obs"
 	"astriflash/internal/ospaging"
 	"astriflash/internal/sim"
 	"astriflash/internal/stats"
@@ -206,6 +207,13 @@ type System struct {
 	// attr accumulates latency attribution during measurement.
 	attr attribution
 
+	// metrics names every component counter/gauge/histogram (observe.go).
+	metrics *obs.Registry
+	// trace, when non-nil, receives lifecycle spans during measurement.
+	trace *obs.Tracer
+	// reqSeq numbers requests so spans can be correlated per request.
+	reqSeq uint64
+
 	JobsDone     stats.Counter
 	MissSignals  stats.Counter
 	ForcedSync   stats.Counter
@@ -293,6 +301,8 @@ func New(cfg Config) (*System, error) {
 	for i := 0; i < cfg.Cores; i++ {
 		s.cores = append(s.cores, s.newCore(i))
 	}
+	s.metrics = obs.NewRegistry()
+	s.registerMetrics()
 	// The DRAM cache is a memory-side cache (Knights-Landing style): it
 	// is not inclusive of the on-chip hierarchy, so evictions do NOT
 	// invalidate LLC copies. Dirty on-chip lines whose page has left the

@@ -1,0 +1,78 @@
+// Command lintdocs enforces the repo's documentation contract: every Go
+// package (library or command) must open with a package-level doc comment.
+// CI runs it via `make lint-docs`; it exits nonzero listing each
+// undocumented package.
+//
+// Only the package clause and its comments are parsed, so the check costs
+// milliseconds even on a large tree. Test files (_test.go) and testdata
+// directories are skipped: package docs belong on the package proper.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	// dir -> true once any file in it carries a package doc comment.
+	documented := map[string]bool{}
+	pkgName := map[string]string{}
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		dir := filepath.Dir(path)
+		pkgName[dir] = f.Name.Name
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var missing []string
+	for dir := range pkgName {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "lintdocs: %d package(s) missing a package doc comment:\n", len(missing))
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s (package %s)\n", dir, pkgName[dir])
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lintdocs: %d packages, all documented\n", len(pkgName))
+}

@@ -1,0 +1,138 @@
+package astriflash
+
+// Span tracing at the driver level: EnableTracing arms a machine's
+// per-request lifecycle tracer, and TraceTailRun packages the fig-10-style
+// traced sweep behind `astribench -trace`. Traces are written in Chrome
+// trace-event JSON (open in chrome://tracing / Perfetto) and analyzed with
+// `astritrace analyze`, which rebuilds per-request critical paths and
+// prints the p50/p99/p99.9 stage breakdown. Tracing is observational only:
+// a traced run's Metrics are bit-identical to an untraced run's.
+
+import (
+	"fmt"
+	"io"
+
+	"astriflash/internal/obs"
+	"astriflash/internal/runner"
+)
+
+// EnableTracing arms span capture for this machine's next run. Spans cover
+// the measurement window; trace volume scales with window length, so keep
+// traced windows short (a few ms). Must be called before the run.
+func (m *Machine) EnableTracing() {
+	m.sys.EnableTracing(obs.NewTracer())
+}
+
+// TraceSpanCount returns the number of spans captured so far.
+func (m *Machine) TraceSpanCount() int {
+	if t := m.sys.Tracer(); t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+// WriteTrace streams the machine's captured spans as a Chrome trace-event
+// JSON array. It errors if EnableTracing was not called.
+func (m *Machine) WriteTrace(w io.Writer) error {
+	t := m.sys.Tracer()
+	if t == nil {
+		return fmt.Errorf("astriflash: tracing was not enabled on this machine")
+	}
+	return obs.WriteTrace(w, t.Spans())
+}
+
+// TracePoint is one traced sweep point.
+type TracePoint struct {
+	Label string
+	// Load is the point's target load fraction of the DRAM-only maximum
+	// (0 for the saturated baseline point).
+	Load    float64
+	Metrics Metrics
+	spans   []obs.Span
+}
+
+// TraceCapture is the result of TraceTailRun: per-point metrics plus the
+// merged span stream.
+type TraceCapture struct {
+	Points []TracePoint
+}
+
+// Spans returns the merged span stream across points, point-major in
+// sweep order (deterministic for a given config and seed).
+func (tc *TraceCapture) Spans() []obs.Span {
+	var out []obs.Span
+	for _, p := range tc.Points {
+		out = append(out, p.spans...)
+	}
+	return out
+}
+
+// WriteJSON streams the capture as a Chrome trace-event JSON array; the
+// trace pid is the sweep point index.
+func (tc *TraceCapture) WriteJSON(w io.Writer) error {
+	return obs.WriteTrace(w, tc.Spans())
+}
+
+// Analyze reconstructs per-request critical paths and renders the stage-
+// breakdown report (the same output as `astritrace analyze`).
+func (tc *TraceCapture) Analyze() string {
+	return obs.Analyze(tc.Spans(), obs.AnalyzeOptions{}).String()
+}
+
+// TraceTailRun is the fig-10-style traced run: a saturated DRAM-only
+// baseline (point 0) sizes the load axis, then AstriFlash serves Poisson
+// arrivals at the given load fractions (default 0.6 and 0.9), all with
+// span capture during the measurement window. Points run under the
+// configured worker pool; results are merged in point order, so the span
+// stream is byte-identical for any worker count.
+func TraceTailRun(cfg ExpConfig, workloadName string, loads []float64) (*TraceCapture, error) {
+	if workloadName == "" {
+		workloadName = "tatp"
+	}
+	if loads == nil {
+		loads = []float64{0.6, 0.9}
+	}
+	m0, err := NewMachine(cfg.optionsAt(0, DRAMOnly, workloadName))
+	if err != nil {
+		return nil, err
+	}
+	m0.EnableTracing()
+	base := m0.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+	if base.ThroughputJPS == 0 || base.MeanServiceNs == 0 {
+		return nil, fmt.Errorf("astriflash: traced DRAM-only baseline is degenerate")
+	}
+	tc := &TraceCapture{Points: make([]TracePoint, 1+len(loads))}
+	tc.Points[0] = TracePoint{
+		Label:   fmt.Sprintf("%s/saturated", base.Mode),
+		Metrics: base,
+		spans:   stampPoint(m0.sys.Tracer().Spans(), 0),
+	}
+	rest, err := runner.Map(len(loads), cfg.workers(), func(i int) (TracePoint, error) {
+		gap := 1e9 / (base.ThroughputJPS * loads[i])
+		m, err := NewMachine(cfg.optionsAt(1+i, AstriFlash, workloadName))
+		if err != nil {
+			return TracePoint{}, err
+		}
+		m.EnableTracing()
+		res := m.RunPoisson(gap, cfg.WarmupNs, cfg.MeasureNs)
+		return TracePoint{
+			Label:   fmt.Sprintf("%s/load=%.2f", res.Mode, loads[i]),
+			Load:    loads[i],
+			Metrics: res,
+			spans:   stampPoint(m.sys.Tracer().Spans(), 1+i),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(tc.Points[1:], rest)
+	return tc, nil
+}
+
+// stampPoint writes the sweep-point index into every span.
+func stampPoint(spans []obs.Span, point int) []obs.Span {
+	for i := range spans {
+		spans[i].Point = point
+	}
+	return spans
+}

@@ -1,0 +1,132 @@
+package astriflash
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"astriflash/internal/obs"
+)
+
+// traceCfg shrinks the traced windows: span volume scales with the
+// measurement window, and the contracts under test are window-invariant.
+func traceCfg() ExpConfig {
+	cfg := detExp()
+	cfg.MeasureNs = 2_000_000
+	return cfg
+}
+
+// TestTraceReconciles is the acceptance property: on a fig-10-style traced
+// run, every fully captured request's stage durations sum exactly to its
+// end-to-end service latency, for every point (DRAM-only saturated and
+// AstriFlash under Poisson load).
+func TestTraceReconciles(t *testing.T) {
+	tc, err := TraceTailRun(traceCfg(), "tatp", []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.Analyze(tc.Spans(), obs.AnalyzeOptions{})
+	if rep.Complete == 0 {
+		t.Fatal("no complete requests captured")
+	}
+	if rep.Reconciled != rep.Complete || rep.MaxDriftNs != 0 {
+		t.Fatalf("stage sums drift from service latency: %d/%d reconciled, max drift %d ns",
+			rep.Reconciled, rep.Complete, rep.MaxDriftNs)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %v, want 2 sweep points", rep.Points)
+	}
+	// The AstriFlash point must exhibit the miss lifecycle.
+	var sawFlashWait, sawFetch bool
+	for _, sp := range tc.Spans() {
+		if sp.Point != 1 {
+			continue
+		}
+		switch sp.Stage {
+		case obs.StageFlashWait, obs.StageSyncWait:
+			sawFlashWait = true
+		case obs.StageFlashRead:
+			sawFetch = true
+		}
+	}
+	if !sawFlashWait || !sawFetch {
+		t.Fatalf("AstriFlash point missing miss lifecycle: flashWait=%v fetch=%v", sawFlashWait, sawFetch)
+	}
+	out := rep.String()
+	for _, want := range []string{"p50", "p99", "p99.9", "flash-wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceIdenticalAcrossWorkerCounts: the traced sweep's span stream
+// (and hence its serialized trace) is byte-identical for any worker count.
+func TestTraceIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := traceCfg()
+		cfg.Workers = workers
+		tc, err := TraceTailRun(cfg, "tatp", []float64{0.5, 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(1), run(8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace bytes diverge across worker counts (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestTracingDoesNotPerturbResults: tracing is pure observation — a traced
+// run's Metrics equal an untraced run's bit for bit.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	cfg := traceCfg()
+	for _, mode := range []Mode{AstriFlash, OSSwap, FlashSync} {
+		run := func(traced bool) Metrics {
+			m, err := NewMachine(cfg.optionsAt(3, mode, "tatp"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if traced {
+				m.EnableTracing()
+			}
+			return m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+		}
+		plain, traced := run(false), run(true)
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("%v: traced run diverged from untraced:\n plain  %+v\n traced %+v", mode, plain, traced)
+		}
+	}
+}
+
+// TestTraceRoundTripThroughFile: the serialized trace parses back to the
+// exact span stream.
+func TestTraceRoundTripThroughFile(t *testing.T) {
+	cfg := traceCfg()
+	m, err := NewMachine(cfg.optionsAt(0, AstriFlash, "tatp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableTracing()
+	m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+	if m.TraceSpanCount() == 0 {
+		t.Fatal("no spans captured")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m.sys.Tracer().Spans()) {
+		t.Fatalf("trace round trip mismatch: %d spans in, %d out", m.sys.Tracer().Len(), len(got))
+	}
+}
