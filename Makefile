@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race verify-race lint-docs bench bench-engine figures trace-smoke
+.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json figures trace-smoke timeline-smoke
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,15 @@ figures:
 trace-smoke:
 	$(GO) run ./cmd/astribench -trace trace-smoke.json -cores 4 -dataset 16 -measure 3
 	$(GO) run ./cmd/astritrace analyze -in trace-smoke.json | tee stage-breakdown.txt
+
+## Short sampled run: per-window timeline + SLO burn-rate verdicts
+## (CI uploads the CSV; the re-render checks the wire format end to end).
+timeline-smoke:
+	$(GO) run ./cmd/astribench -timeline timeline-smoke.csv -cores 4 -dataset 16 -measure 5 | tee timeline-report.txt
+	$(GO) run ./cmd/astritrace timeline -in timeline-smoke.csv
+
+## Self-profiling suite: events/sec, allocs, wall time per experiment,
+## written to the dated BENCH_<date>.json the repo commits as its
+## performance trajectory.
+bench-json:
+	$(GO) run ./cmd/astribench -benchjson BENCH_$$(date +%F).json

@@ -354,6 +354,8 @@ func SimRuns() uint64 { return simRuns.Load() }
 // Machine is one assembled simulated system.
 type Machine struct {
 	sys *system.System
+	// lastProf self-profiles the most recent run (selfprof.go).
+	lastProf RunProfile
 }
 
 // NewMachine builds the machine (including its workload dataset, which
@@ -375,16 +377,18 @@ func NewMachine(o Options) (*Machine, error) {
 // inflight requests outstanding per core, for warmupNs of cache warming
 // followed by a measureNs window.
 func (m *Machine) RunSaturated(inflight int, warmupNs, measureNs int64) Metrics {
-	defer simRuns.Add(1)
-	return fromResult(m.sys.RunClosedLoop(inflight, warmupNs, measureNs))
+	return m.profiled(func() system.Result {
+		return m.sys.RunClosedLoop(inflight, warmupNs, measureNs)
+	})
 }
 
 // RunPoisson drives the machine open-loop with Poisson arrivals at the
 // given mean inter-arrival gap (nanoseconds, across the whole machine) —
 // the paper's tail-latency methodology (Figure 10).
 func (m *Machine) RunPoisson(meanGapNs float64, warmupNs, measureNs int64) Metrics {
-	defer simRuns.Add(1)
-	return fromResult(m.sys.RunOpenLoop(meanGapNs, warmupNs, measureNs))
+	return m.profiled(func() system.Result {
+		return m.sys.RunOpenLoop(meanGapNs, warmupNs, measureNs)
+	})
 }
 
 // Run is the one-call convenience: build a machine from Options and run

@@ -9,11 +9,18 @@
 // Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc, anatomy,
 // faults. Each prints the same rows/series the paper reports; EXPERIMENTS.md
 // records paper-vs-measured values.
+//
+// Special modes replace -exp: -trace writes a fig-10-style span trace,
+// -timeline writes a fig-10-style per-window timeline CSV with SLO
+// burn-rate verdicts (plus -openmetrics for Prometheus-family tooling),
+// and -benchjson runs the self-profiling suite behind `make bench-json`,
+// emitting the BENCH_<date>.json performance-trajectory report.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +40,10 @@ func main() {
 		plot      = flag.Bool("plot", false, "render fig3/fig10 as ASCII charts too")
 		timeout   = flag.Duration("timeout", 0, "abort any single sweep point after this much wall-clock time, with now/pending/fired engine diagnostics (0 = no limit)")
 		traceOut  = flag.String("trace", "", "instead of -exp, run a fig-10-style traced run (DRAM-only saturated baseline + AstriFlash under Poisson load) and write its span trace to this file; analyze with 'astritrace analyze -in FILE'")
+		tlOut     = flag.String("timeline", "", "instead of -exp, run a fig-10-style sampled run and write its timeline CSV to this file; view with 'astritrace timeline -in FILE'")
+		omOut     = flag.String("openmetrics", "", "with -timeline, also export the capture in OpenMetrics text format to this file")
+		sloFlag   = flag.String("slo", "", "with -timeline, extra comma-separated objectives (e.g. 'p99<150us') on top of the derived p99<1.5x-DRAM-only SLO")
+		benchOut  = flag.String("benchjson", "", "instead of -exp, run the self-profiling suite and write the BENCH json report to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -48,6 +59,20 @@ func main() {
 
 	if *traceOut != "" {
 		if err := runTraced(cfg, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tlOut != "" {
+		if err := runTimeline(cfg, *tlOut, *omOut, *sloFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchOut != "" {
+		if err := runBenchJSON(cfg, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -176,8 +201,9 @@ func main() {
 	if wall > 0 {
 		rate = float64(points) / wall
 	}
-	fmt.Printf("total: %d simulation points in %.1fs wall time (%.1f points/sec, workers=%d)\n",
-		points, wall, rate, runner.Workers(*workers))
+	prof := astriflash.SelfProfile()
+	fmt.Printf("total: %d simulation points in %.1fs wall time (%.1f points/sec, %.2e events/sec/worker, workers=%d)\n",
+		points, wall, rate, prof.EventsPerSec(), runner.Workers(*workers))
 }
 
 // runTraced captures the -trace run: spans go to path, the per-point
@@ -208,4 +234,66 @@ func runTraced(cfg astriflash.ExpConfig, path string) error {
 	fmt.Printf("wrote %d spans to %s in %.1fs; run 'astritrace analyze -in %s' for the stage breakdown\n",
 		len(tc.Spans()), path, time.Since(start).Seconds(), path)
 	return nil
+}
+
+// runTimeline captures the -timeline run: per-window tables and SLO
+// verdicts go to stdout, the CSV (and optional OpenMetrics export) to disk.
+func runTimeline(cfg astriflash.ExpConfig, csvPath, omPath, sloSpecs string) error {
+	start := time.Now()
+	var specs []string
+	for _, s := range strings.Split(sloSpecs, ",") {
+		if strings.TrimSpace(s) != "" {
+			specs = append(specs, s)
+		}
+	}
+	tc, err := astriflash.TimelineTailRun(cfg, "tatp", astriflash.TimelineOptions{
+		SLOSpecs: specs,
+		Trace:    true, // anatomy of violating windows rides along
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(tc.Render())
+	if err := writeFile(csvPath, tc.WriteCSV); err != nil {
+		return err
+	}
+	if omPath != "" {
+		if err := writeFile(omPath, tc.WriteOpenMetrics); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d timeline windows to %s in %.1fs; run 'astritrace timeline -in %s' to re-render\n",
+		len(tc.Samples()), csvPath, time.Since(start).Seconds(), csvPath)
+	return nil
+}
+
+// runBenchJSON runs the self-profiling suite and writes the trajectory
+// report ("-" writes to stdout).
+func runBenchJSON(cfg astriflash.ExpConfig, path string) error {
+	rep, err := astriflash.BenchSuite(cfg, time.Now().Format("2006-01-02"))
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return rep.Write(os.Stdout)
+	}
+	if err := writeFile(path, rep.Write); err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeFile streams write into a freshly created file.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

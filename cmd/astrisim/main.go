@@ -19,6 +19,8 @@ import (
 	"strings"
 
 	"astriflash"
+	"astriflash/internal/obs/timeline"
+	"astriflash/internal/stats"
 )
 
 var modeNames = map[string]astriflash.Mode{
@@ -44,9 +46,26 @@ func main() {
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in jobs/s (0 = saturated closed loop)")
 		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		traceOut  = flag.String("trace", "", "write the run's lifecycle-span trace to this file (Chrome trace-event JSON; analyze with 'astritrace analyze')")
-		counters  = flag.Bool("counters", false, "also print every registry counter's window delta")
+		counters  = flag.Bool("counters", false, "also print the registry's window deltas, gauges, and histogram summaries")
+		tlOut     = flag.String("timeline", "", "sample the registry every -interval of simulated time and write the timeline CSV here ('-' prints the per-window table only; view with 'astritrace timeline')")
+		interval  = flag.Int64("interval", 1000, "timeline sampling interval in simulated us")
+		sloFlag   = flag.String("slo", "", "comma-separated latency objectives evaluated per timeline window, e.g. 'p99<150us,system.service_ns:p99.9<2ms' (implies timeline sampling)")
 	)
 	flag.Parse()
+
+	var slos []timeline.SLO
+	for _, spec := range strings.Split(*sloFlag, ",") {
+		if strings.TrimSpace(spec) == "" {
+			continue
+		}
+		s, err := timeline.ParseSLO(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		slos = append(slos, s)
+	}
+	sampling := *tlOut != "" || len(slos) > 0
 
 	mode, ok := modeNames[strings.ToLower(*modeFlag)]
 	if !ok {
@@ -74,6 +93,12 @@ func main() {
 
 	if *traceOut != "" {
 		machine.EnableTracing()
+	}
+	if sampling {
+		if err := machine.EnableTimeline(*interval*1000, slos); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	warm := *warmupMs * 1_000_000
@@ -104,31 +129,92 @@ func main() {
 		fmt.Printf("forced sync       %d forward-progress completions\n", res.ForcedSyncCount)
 	}
 	if *counters {
-		names := make([]string, 0, len(res.Counters))
-		for n := range res.Counters {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		fmt.Println("\nregistry counters (window deltas):")
-		for _, n := range names {
-			fmt.Printf("  %-40s %d\n", n, res.Counters[n])
+		printRegistry(machine, res)
+	}
+	if sampling {
+		samples := machine.TimelineSamples()
+		verdicts := timeline.Evaluate(samples, slos)
+		fmt.Println()
+		fmt.Print(timeline.Render(samples, slos, verdicts, timeline.RenderOptions{
+			PointLabels: map[int]string{0: fmt.Sprintf("%s/%s", res.Mode, res.Workload)},
+		}))
+		if *tlOut != "" && *tlOut != "-" {
+			f, err := os.Create(*tlOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			err = timeline.WriteCSV(f, samples, *interval*1000, slos)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d timeline windows to %s (view with 'astritrace timeline -in %s')\n",
+				len(samples), *tlOut, *tlOut)
 		}
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := machine.WriteTrace(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %d spans to %s (analyze with 'astritrace analyze -in %s')\n",
-			machine.TraceSpanCount(), *traceOut, *traceOut)
+		writeTrace(machine, *traceOut)
 	}
+}
+
+// printRegistry renders the full registry view: counter deltas over the
+// measurement window, gauges at run end, and cumulative histogram
+// summaries — sorted, aligned, one table per kind.
+func printRegistry(machine *astriflash.Machine, res astriflash.Metrics) {
+	names := make([]string, 0, len(res.Counters))
+	for n := range res.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ct := stats.Table{Header: []string{"counter", fmt.Sprintf("delta over %d ms window", res.SimulatedNs/1_000_000)}}
+	for _, n := range names {
+		ct.AddRow(n, fmt.Sprintf("%d", res.Counters[n]))
+	}
+	fmt.Println("\nregistry counters (measurement-window deltas):")
+	fmt.Print(ct.String())
+
+	reg := machine.Registry()
+	gauges := reg.GaugeSnapshot()
+	if len(gauges) > 0 {
+		gt := stats.Table{Header: []string{"gauge", "value at run end"}}
+		for _, n := range reg.GaugeNames() {
+			gt.AddRow(n, fmt.Sprintf("%g", gauges[n]))
+		}
+		fmt.Println("\nregistry gauges:")
+		fmt.Print(gt.String())
+	}
+	hists := reg.HistogramSnapshot()
+	if len(hists) > 0 {
+		ht := stats.Table{Header: []string{"histogram", "count", "p50 (us)", "p99 (us)"}}
+		for _, n := range reg.HistogramNames() {
+			h := hists[n]
+			ht.AddRow(n, fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.1f", float64(h.P50Ns)/1000), fmt.Sprintf("%.1f", float64(h.P99Ns)/1000))
+		}
+		fmt.Println("\nregistry histograms (cumulative over the run):")
+		fmt.Print(ht.String())
+	}
+}
+
+// writeTrace saves the captured span stream.
+func writeTrace(machine *astriflash.Machine, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := machine.WriteTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d spans to %s (analyze with 'astritrace analyze -in %s')\n",
+		machine.TraceSpanCount(), path, path)
 }

@@ -10,12 +10,19 @@
 // tail anatomy (which stage makes the 99th percentile), the BC fetch
 // pipeline, and annotated timelines of the slowest requests.
 //
+// The timeline subcommand reads a timeline CSV (written by `astribench
+// -timeline` or `astrisim -timeline`), re-renders the per-window tables,
+// and re-evaluates the embedded SLOs' burn-rate verdicts; with -spans it
+// additionally attributes each violating window's service time to
+// lifecycle stages.
+//
 // Usage:
 //
 //	astritrace -workload tatp -jobs 2000
 //	astritrace -workload silo -jobs 5000 -out silo.trace
 //	astritrace -in silo.trace
 //	astritrace analyze -in spans.json [-slowest 3]
+//	astritrace timeline -in timeline.csv [-spans spans.json]
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"astriflash/internal/mem"
 	"astriflash/internal/obs"
+	"astriflash/internal/obs/timeline"
 	"astriflash/internal/stats"
 	"astriflash/internal/trace"
 	"astriflash/internal/workload"
@@ -57,9 +65,66 @@ func runAnalyze(args []string) {
 	fmt.Print(obs.Analyze(spans, obs.AnalyzeOptions{Slowest: *slowest}).String())
 }
 
+// runTimeline is the timeline-CSV analysis mode: re-render the per-window
+// tables and re-evaluate the file's embedded SLOs.
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	in := fs.String("in", "", "timeline CSV (from 'astribench -timeline' or 'astrisim -timeline')")
+	spansIn := fs.String("spans", "", "optional span trace from the same run, for tail anatomy of violating windows")
+	fs.Parse(args)
+	if *in == "" && fs.NArg() > 0 {
+		*in = fs.Arg(0)
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "timeline: need a timeline CSV (-in timeline.csv)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	tl, err := timeline.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	verdicts := timeline.Evaluate(tl.Samples, tl.SLOs)
+	fmt.Printf("%s: %d windows of %s across %d points, %d SLOs\n\n",
+		*in, len(tl.Samples), fmtNs(tl.IntervalNs), len(timeline.Points(tl.Samples)), len(tl.SLOs))
+	fmt.Print(timeline.Render(tl.Samples, tl.SLOs, verdicts, timeline.RenderOptions{}))
+	if *spansIn != "" {
+		sf, err := os.Open(*spansIn)
+		if err != nil {
+			fatal(err)
+		}
+		spans, err := obs.ReadTrace(sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(timeline.RenderAnatomy(timeline.Attribute(spans, tl.Samples, verdicts)))
+	}
+}
+
+// fmtNs renders a nanosecond interval compactly for the header line.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%gms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%gus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		runAnalyze(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		runTimeline(os.Args[2:])
 		return
 	}
 	var (

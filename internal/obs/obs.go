@@ -119,6 +119,34 @@ func (r *Registry) GaugeSnapshot() map[string]float64 {
 	return out
 }
 
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistStat is one histogram's summary in a HistogramSnapshot.
+type HistStat struct {
+	Count uint64
+	P50Ns int64
+	P99Ns int64
+}
+
+// HistogramSnapshot summarizes every registered histogram (cumulative
+// count/p50/p99), so samplers and drivers need not fetch histograms one
+// name at a time.
+func (r *Registry) HistogramSnapshot() map[string]HistStat {
+	out := make(map[string]HistStat, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = HistStat{Count: h.Count(), P50Ns: h.Percentile(50), P99Ns: h.Percentile(99)}
+	}
+	return out
+}
+
 // Histogram returns the named histogram, or nil.
 func (r *Registry) HistogramByName(name string) *stats.Histogram { return r.hists[name] }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -138,5 +139,50 @@ func TestAnalyzeReconciles(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRegistryNamesSortedAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 stats.Counter
+	// Register deliberately out of order: *Names() must come back sorted.
+	r.Counter("z.last", &c2)
+	r.Counter("a.first", &c1)
+	r.CounterFunc("m.middle", func() uint64 { return 7 })
+	r.Gauge("z.gauge", func() float64 { return 2 })
+	r.Gauge("a.gauge", func() float64 { return 1 })
+	hz := stats.NewHistogram()
+	ha := stats.NewHistogram()
+	r.Histogram("z.hist", hz)
+	r.Histogram("a.hist", ha)
+
+	for _, tc := range []struct {
+		kind string
+		got  []string
+	}{
+		{"counters", r.CounterNames()},
+		{"gauges", r.GaugeNames()},
+		{"histograms", r.HistogramNames()},
+	} {
+		if !sort.StringsAreSorted(tc.got) {
+			t.Fatalf("%s names not sorted: %v", tc.kind, tc.got)
+		}
+	}
+	if got := r.GaugeNames(); len(got) != 2 || got[0] != "a.gauge" {
+		t.Fatalf("GaugeNames = %v", got)
+	}
+
+	for i := int64(1); i <= 200; i++ {
+		ha.Record(i)
+	}
+	snap := r.HistogramSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("HistogramSnapshot has %d entries, want 2", len(snap))
+	}
+	if st := snap["a.hist"]; st.Count != 200 || st.P50Ns != ha.Percentile(50) || st.P99Ns != ha.Percentile(99) {
+		t.Fatalf("a.hist snapshot = %+v", st)
+	}
+	if st := snap["z.hist"]; st.Count != 0 || st.P50Ns != 0 || st.P99Ns != 0 {
+		t.Fatalf("empty z.hist snapshot = %+v", st)
 	}
 }

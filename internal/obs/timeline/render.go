@@ -1,0 +1,236 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"astriflash/internal/obs"
+	"astriflash/internal/stats"
+)
+
+// Rendering: the per-window tables and SLO verdict report behind
+// `astritrace timeline` and the -timeline/-slo driver flags, plus the
+// span-level attribution that names which lifecycle stage made an
+// offending window slow.
+
+// RenderOptions selects what the timeline report shows.
+type RenderOptions struct {
+	// Metric is the primary latency histogram column (default: the first
+	// SLO's metric, else system.response_ns, else the first histogram).
+	Metric string
+	// PointLabels maps sweep point to a display label.
+	PointLabels map[int]string
+}
+
+// primaryMetric resolves the latency column the report centers on.
+func primaryMetric(samples []Sample, slos []SLO, opt RenderOptions) string {
+	if opt.Metric != "" {
+		return opt.Metric
+	}
+	if len(slos) > 0 {
+		return slos[0].Metric
+	}
+	_, _, hists := MetricNames(samples)
+	for _, h := range hists {
+		if h == "system.response_ns" {
+			return h
+		}
+	}
+	if len(hists) > 0 {
+		return hists[0]
+	}
+	return ""
+}
+
+// Render formats the timeline: one per-window table per sweep point
+// (throughput, latency percentiles of the primary metric, queue depth,
+// flash activity), then one verdict line per SLO with its violations.
+func Render(samples []Sample, slos []SLO, verdicts []Verdict, opt RenderOptions) string {
+	var b strings.Builder
+	metric := primaryMetric(samples, slos, opt)
+	badCols := make([]string, 0, len(slos))
+	for _, s := range slos {
+		badCols = append(badCols, s.Name)
+	}
+
+	for _, point := range Points(samples) {
+		label := opt.PointLabels[point]
+		if label == "" {
+			label = fmt.Sprintf("point %d", point)
+		}
+		fmt.Fprintf(&b, "timeline %s (latency metric %s):\n", label, metric)
+		header := []string{"window", "t", "jobs/s", "p50", "p99", "p99.9", "n"}
+		for _, n := range badCols {
+			header = append(header, "bad["+n+"]")
+		}
+		header = append(header, "queue", "flash.rd", "gc")
+		t := stats.Table{Header: header}
+		for _, s := range samples {
+			if s.Point != point {
+				continue
+			}
+			h := s.Hists[metric]
+			row := []string{
+				fmt.Sprintf("%d", s.Window),
+				fmt.Sprintf("%.1fms", float64(s.StartNs)/1e6),
+				fmt.Sprintf("%.0f", s.Throughput("system.jobs_done")),
+				fmtDurNs(h.P50Ns), fmtDurNs(h.P99Ns), fmtDurNs(h.P999Ns),
+				fmt.Sprintf("%d", h.Count),
+			}
+			for _, n := range badCols {
+				row = append(row, fmt.Sprintf("%d", s.Bad[n]))
+			}
+			row = append(row,
+				fmt.Sprintf("%.0f", queueDepth(s)),
+				fmt.Sprintf("%d", s.Counters["flash.reads"]),
+				fmt.Sprintf("%d", s.Counters["flash.gc_runs"]))
+			t.AddRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+
+	if len(verdicts) > 0 {
+		b.WriteString("SLO verdicts:\n")
+		for _, v := range verdicts {
+			fmt.Fprintf(&b, "  %s\n", v)
+			for _, viol := range v.Violations {
+				fmt.Fprintf(&b, "    burn[%s] point %d windows %d-%d (%.1f-%.1fms) peak %.2fx budget burn\n",
+					viol.Rule, viol.Point, viol.FirstWindow, viol.LastWindow,
+					float64(viol.StartNs)/1e6, float64(viol.EndNs)/1e6, viol.PeakBurn)
+			}
+		}
+	}
+	return b.String()
+}
+
+// windowKey identifies one (point, window) pair during attribution.
+type windowKey struct {
+	point  int
+	window int
+}
+
+// WindowAnatomy is the span-level stage decomposition of one offending
+// window: where service time inside the window actually went.
+type WindowAnatomy struct {
+	Point   int
+	Window  int
+	StartNs int64
+	EndNs   int64
+	// StageNs sums, per stage, the service-span time overlapping the
+	// window (spans are clipped at the window edges).
+	StageNs map[obs.Stage]int64
+	TotalNs int64
+}
+
+// Attribute computes the tail anatomy of every window named by a verdict
+// violation, from the run's lifecycle spans (the same stream `astritrace
+// analyze` consumes). Returns one anatomy per offending window, in
+// (point, window) order. Spans must carry the same point stamps as the
+// samples.
+func Attribute(spans []obs.Span, samples []Sample, verdicts []Verdict) []WindowAnatomy {
+	offending := map[windowKey]*WindowAnatomy{}
+	for _, s := range samples {
+		for _, v := range verdicts {
+			for _, viol := range v.Violations {
+				if s.Point == viol.Point && s.Window >= viol.FirstWindow && s.Window <= viol.LastWindow {
+					k := windowKey{s.Point, s.Window}
+					if offending[k] == nil {
+						offending[k] = &WindowAnatomy{Point: s.Point, Window: s.Window,
+							StartNs: s.StartNs, EndNs: s.EndNs, StageNs: map[obs.Stage]int64{}}
+					}
+				}
+			}
+		}
+	}
+	if len(offending) == 0 {
+		return nil
+	}
+	for _, sp := range spans {
+		if !sp.Stage.RequestScoped() || !sp.Stage.ServiceStage() {
+			continue
+		}
+		for _, wa := range offending {
+			if sp.Point != wa.Point || sp.End <= wa.StartNs || sp.Start >= wa.EndNs {
+				continue
+			}
+			start, end := sp.Start, sp.End
+			if start < wa.StartNs {
+				start = wa.StartNs
+			}
+			if end > wa.EndNs {
+				end = wa.EndNs
+			}
+			wa.StageNs[sp.Stage] += end - start
+			wa.TotalNs += end - start
+		}
+	}
+	out := make([]WindowAnatomy, 0, len(offending))
+	for _, wa := range offending {
+		out = append(out, *wa)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		return out[i].Window < out[j].Window
+	})
+	return out
+}
+
+// RenderAnatomy formats window anatomies: each offending window's top
+// stages by share of in-window service time.
+func RenderAnatomy(anatomies []WindowAnatomy) string {
+	if len(anatomies) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("offending-window tail anatomy (service-span time inside each window):\n")
+	for _, wa := range anatomies {
+		fmt.Fprintf(&b, "  point %d window %d (%.1f-%.1fms):", wa.Point, wa.Window,
+			float64(wa.StartNs)/1e6, float64(wa.EndNs)/1e6)
+		if wa.TotalNs == 0 {
+			b.WriteString(" no service spans in window (enable tracing to attribute)\n")
+			continue
+		}
+		type sh struct {
+			st obs.Stage
+			ns int64
+		}
+		shares := make([]sh, 0, len(wa.StageNs))
+		for st, ns := range wa.StageNs {
+			shares = append(shares, sh{st, ns})
+		}
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].ns != shares[j].ns {
+				return shares[i].ns > shares[j].ns
+			}
+			return shares[i].st < shares[j].st
+		})
+		if len(shares) > 4 {
+			shares = shares[:4]
+		}
+		for _, s := range shares {
+			fmt.Fprintf(&b, "  %s %.0f%%", s.st, float64(s.ns)/float64(wa.TotalNs)*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// queueDepth sums the run-queue depth gauges present in a sample: the
+// system-level queue gauge when registered, else the per-core pending
+// depths.
+func queueDepth(s Sample) float64 {
+	if v, ok := s.Gauges["system.queue_depth"]; ok {
+		return v
+	}
+	var sum float64
+	for n, v := range s.Gauges {
+		if strings.HasSuffix(n, "pending_depth") {
+			sum += v
+		}
+	}
+	return sum
+}

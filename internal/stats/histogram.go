@@ -146,6 +146,101 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max
 }
 
+// CountAbove returns the number of observations strictly above v, at
+// bucket resolution: observations sharing v's bucket are not counted, so
+// the result can undercount by up to one bucket width (~3%).
+func (h *Histogram) CountAbove(v int64) uint64 {
+	var n uint64
+	for k := h.bucketOf(v) + 1; k < len(h.buckets); k++ {
+		n += h.buckets[k]
+	}
+	return n
+}
+
+// WindowStats summarizes one measurement window of a histogram: the
+// observations recorded between two Advance calls on a HistogramWindow.
+type WindowStats struct {
+	Count uint64
+	Mean  float64
+	P50   int64
+	P99   int64
+	P999  int64
+	// Above holds, for each threshold passed to Advance, the window's
+	// count of observations strictly above it (bucket resolution).
+	Above []uint64
+}
+
+// HistogramWindow turns a cumulative histogram into a sequence of window
+// views: each Advance returns the distribution of only the observations
+// recorded since the previous Advance. The window keeps a private copy of
+// the source's bucket counts, so the source histogram is never mutated —
+// cumulative queries on it remain valid. Window percentiles are bucket
+// lower bounds (the same ~3% resolution as the cumulative ones), without
+// the exact min/max clamp, since per-window extrema are not tracked.
+type HistogramWindow struct {
+	src       *Histogram
+	prev      []uint64
+	prevCount uint64
+	prevSum   float64
+}
+
+// NewHistogramWindow starts a window view at src's current contents:
+// observations already recorded are excluded from the first Advance.
+func NewHistogramWindow(src *Histogram) *HistogramWindow {
+	w := &HistogramWindow{src: src, prev: make([]uint64, len(src.buckets))}
+	copy(w.prev, src.buckets)
+	w.prevCount = src.count
+	w.prevSum = src.sum
+	return w
+}
+
+// Advance returns statistics over the observations recorded since the last
+// Advance (or since NewHistogramWindow) and rolls the window forward.
+// Each threshold yields one Above entry counting the window's observations
+// strictly above it.
+func (w *HistogramWindow) Advance(thresholds ...int64) WindowStats {
+	h := w.src
+	count := h.count - w.prevCount
+	st := WindowStats{Count: count}
+	if len(thresholds) > 0 {
+		st.Above = make([]uint64, len(thresholds))
+	}
+	if count > 0 {
+		st.Mean = (h.sum - w.prevSum) / float64(count)
+		r50 := uint64(math.Ceil(0.50 * float64(count)))
+		r99 := uint64(math.Ceil(0.99 * float64(count)))
+		r999 := uint64(math.Ceil(0.999 * float64(count)))
+		var cum uint64
+		for k := range h.buckets {
+			d := h.buckets[k] - w.prev[k]
+			if d == 0 {
+				continue
+			}
+			low := h.bucketLow(k)
+			prev := cum
+			cum += d
+			if prev < r50 && cum >= r50 {
+				st.P50 = low
+			}
+			if prev < r99 && cum >= r99 {
+				st.P99 = low
+			}
+			if prev < r999 && cum >= r999 {
+				st.P999 = low
+			}
+			for ti, thr := range thresholds {
+				if low > thr {
+					st.Above[ti] += d
+				}
+			}
+		}
+	}
+	copy(w.prev, h.buckets)
+	w.prevCount = h.count
+	w.prevSum = h.sum
+	return st
+}
+
 // Merge adds all observations of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.subBits != h.subBits {

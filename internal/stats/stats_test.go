@@ -308,3 +308,99 @@ func TestPlotDegenerateRanges(t *testing.T) {
 		t.Fatal("single point plot failed")
 	}
 }
+
+func TestHistogramCountAbove(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	// Exact at small values (dense sub-bucket region covers v < 32).
+	h2 := NewHistogram()
+	for i := int64(0); i < 20; i++ {
+		h2.Record(i)
+	}
+	if got := h2.CountAbove(9); got != 10 {
+		t.Fatalf("CountAbove(9) = %d, want 10", got)
+	}
+	// At bucket resolution: never overcounts, undercounts by at most one
+	// bucket's population.
+	above := h.CountAbove(50_000)
+	if above > 50 {
+		t.Fatalf("CountAbove(50000) = %d, exceeds true count 50", above)
+	}
+	if above < 45 {
+		t.Fatalf("CountAbove(50000) = %d, far below true count 50", above)
+	}
+	if h.CountAbove(h.Max()) != 0 {
+		t.Fatal("CountAbove(max) should be 0")
+	}
+}
+
+func TestHistogramWindowAdvance(t *testing.T) {
+	h := NewHistogram()
+	w := NewHistogramWindow(h)
+
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	st := w.Advance()
+	if st.Count != 100 {
+		t.Fatalf("window 1 count = %d, want 100", st.Count)
+	}
+	if math.Abs(st.Mean-50.5) > 1e-9 {
+		t.Fatalf("window 1 mean = %v, want 50.5", st.Mean)
+	}
+	if st.P50 < 45 || st.P50 > 50 {
+		t.Fatalf("window 1 p50 = %d, want ~50", st.P50)
+	}
+
+	// Second window sees only the new observations.
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000)
+	}
+	st = w.Advance()
+	if st.Count != 10 {
+		t.Fatalf("window 2 count = %d, want 10", st.Count)
+	}
+	if st.P50 < 900_000 || st.P99 < 900_000 {
+		t.Fatalf("window 2 percentiles %d/%d should reflect only the 1ms burst", st.P50, st.P99)
+	}
+
+	// Empty window.
+	st = w.Advance()
+	if st.Count != 0 || st.P50 != 0 || st.Mean != 0 {
+		t.Fatalf("empty window = %+v, want zeros", st)
+	}
+
+	// The source histogram is untouched: cumulative queries still work.
+	if h.Count() != 110 {
+		t.Fatalf("source count = %d, want 110", h.Count())
+	}
+}
+
+func TestHistogramWindowAbove(t *testing.T) {
+	h := NewHistogram()
+	w := NewHistogramWindow(h)
+	for i := 0; i < 90; i++ {
+		h.Record(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000)
+	}
+	st := w.Advance(1000, 2_000_000)
+	if len(st.Above) != 2 {
+		t.Fatalf("Above has %d entries, want 2", len(st.Above))
+	}
+	if st.Above[0] != 10 {
+		t.Fatalf("Above[1000] = %d, want 10", st.Above[0])
+	}
+	if st.Above[1] != 0 {
+		t.Fatalf("Above[2ms] = %d, want 0", st.Above[1])
+	}
+	// Next window: thresholds count only fresh observations.
+	h.Record(5000)
+	st = w.Advance(1000)
+	if st.Count != 1 || st.Above[0] != 1 {
+		t.Fatalf("window 2 = %+v, want count 1 above 1", st)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"astriflash/internal/obs"
+	"astriflash/internal/obs/timeline"
 	"astriflash/internal/sim"
 )
 
@@ -23,6 +24,20 @@ func (s *System) registerMetrics() {
 	r.Counter("system.miss_signals", &s.MissSignals)
 	r.Counter("system.forced_sync", &s.ForcedSync)
 	r.Histogram("system.miss_interval_ns", s.MissInterval)
+	// The recorder's latency distributions, under the registry namespace so
+	// the timeline sampler can window them (response is what SLOs govern).
+	r.Histogram("system.response_ns", s.recorder.Response)
+	r.Histogram("system.service_ns", s.recorder.Service)
+	r.Histogram("system.queueing_ns", s.recorder.Queueing)
+	// Instantaneous run-queue pressure across all cores: jobs waiting for a
+	// first dispatch plus miss-blocked threads waiting to resume.
+	r.Gauge("system.queue_depth", func() float64 {
+		var n int
+		for _, c := range s.cores {
+			n += c.queuedNew() + c.queuedPending()
+		}
+		return float64(n)
+	})
 	s.dc.RegisterMetrics(r)
 	s.flash.RegisterMetrics(r)
 	for i, c := range s.cores {
@@ -38,6 +53,15 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 // EnableTracing attaches t; spans are recorded during the measurement
 // window of the next run. Must be called before the run starts.
 func (s *System) EnableTracing(t *obs.Tracer) { s.trace = t }
+
+// EnableTimeline attaches a timeline sampler; the drivers arm it over the
+// measurement window of the next run. Like tracing, sampling is strictly
+// observational — a sampled run's Result is bit-identical to an unsampled
+// one. Must be called before the run starts.
+func (s *System) EnableTimeline(sm *timeline.Sampler) { s.sampler = sm }
+
+// Timeline returns the attached sampler, or nil.
+func (s *System) Timeline() *timeline.Sampler { return s.sampler }
 
 // Tracer returns the attached tracer, or nil.
 func (s *System) Tracer() *obs.Tracer { return s.trace }

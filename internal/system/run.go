@@ -157,6 +157,9 @@ func (s *System) RunClosedLoop(inflightPerCore int, warmupNs, measureNs int64) R
 	if s.trace != nil {
 		s.dc.Trace = s.trace
 	}
+	if s.sampler != nil {
+		s.sampler.Start(s.eng, warmupNs, warmupNs+measureNs)
+	}
 	snap := s.snapshot()
 	s.eng.RunUntil(warmupNs + measureNs)
 	s.measuring = false
@@ -188,6 +191,10 @@ func (s *System) RunOpenLoop(meanInterArrivalNs float64, warmupNs, measureNs int
 	s.measuring = true
 	if s.trace != nil {
 		s.dc.Trace = s.trace
+	}
+	if s.sampler != nil {
+		// The sampler stops at end, so the drain below runs sampler-free.
+		s.sampler.Start(s.eng, warmupNs, end)
 	}
 	snap := s.snapshot()
 	s.eng.RunUntil(end)

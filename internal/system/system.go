@@ -18,6 +18,7 @@ import (
 	"astriflash/internal/loadgen"
 	"astriflash/internal/mem"
 	"astriflash/internal/obs"
+	"astriflash/internal/obs/timeline"
 	"astriflash/internal/ospaging"
 	"astriflash/internal/sim"
 	"astriflash/internal/stats"
@@ -211,6 +212,9 @@ type System struct {
 	metrics *obs.Registry
 	// trace, when non-nil, receives lifecycle spans during measurement.
 	trace *obs.Tracer
+	// sampler, when non-nil, is armed over the measurement window to
+	// record the registry as per-window time series (observe.go).
+	sampler *timeline.Sampler
 	// reqSeq numbers requests so spans can be correlated per request.
 	reqSeq uint64
 

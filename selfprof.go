@@ -1,0 +1,225 @@
+package astriflash
+
+// Simulator self-profiling: every Machine run records how fast the
+// simulator itself executed (wall clock, engine events fired), aggregated
+// process-wide so sweeps can report events/sec, and packaged by BenchSuite
+// into the schema-stable JSON that `make bench-json` commits as the repo's
+// performance trajectory (BENCH_<date>.json). Profiling only observes the
+// host clock after a run completes; simulated results are unaffected.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"astriflash/internal/system"
+)
+
+// RunProfile describes how fast one simulation run executed on the host.
+type RunProfile struct {
+	// WallNs is host time spent inside the run.
+	WallNs int64
+	// Events is the number of engine events the run fired.
+	Events uint64
+	// SimNs is the simulated time the run covered (warmup + measurement).
+	SimNs int64
+}
+
+// EventsPerSec is the run's simulation speed in events per wall second.
+func (p RunProfile) EventsPerSec() float64 {
+	if p.WallNs <= 0 {
+		return 0
+	}
+	return float64(p.Events) / (float64(p.WallNs) / 1e9)
+}
+
+// Process-wide aggregates, advanced after every Machine run. simRuns lives
+// in astriflash.go (predates this file).
+var (
+	simWallNs atomic.Int64
+	simEvents atomic.Uint64
+)
+
+// profiled runs one driver call with self-profiling: wall time and fired
+// events are recorded on the machine and added to the process aggregates.
+func (m *Machine) profiled(run func() system.Result) Metrics {
+	fired0 := m.sys.Engine().Fired()
+	start := time.Now()
+	res := run()
+	wall := time.Since(start).Nanoseconds()
+	ev := m.sys.Engine().Fired() - fired0
+	m.lastProf = RunProfile{WallNs: wall, Events: ev, SimNs: int64(m.sys.Engine().Now())}
+	simWallNs.Add(wall)
+	simEvents.Add(ev)
+	simRuns.Add(1)
+	return fromResult(res)
+}
+
+// LastRunProfile returns the self-profile of the machine's most recent run
+// (zero value before any run).
+func (m *Machine) LastRunProfile() RunProfile { return m.lastProf }
+
+// AggregateProfile is the process-wide self-profiling view.
+type AggregateProfile struct {
+	// Runs is the number of completed simulation points (== SimRuns()).
+	Runs uint64
+	// WallNs is wall time spent inside runs, summed across workers — with
+	// a parallel sweep this exceeds elapsed time.
+	WallNs int64
+	// Events is the total engine events fired.
+	Events uint64
+}
+
+// EventsPerSec is the aggregate simulation speed over in-run wall time.
+func (a AggregateProfile) EventsPerSec() float64 {
+	if a.WallNs <= 0 {
+		return 0
+	}
+	return float64(a.Events) / (float64(a.WallNs) / 1e9)
+}
+
+// SelfProfile returns the process-wide aggregates. Safe to read
+// concurrently with running sweeps.
+func SelfProfile() AggregateProfile {
+	return AggregateProfile{
+		Runs:   simRuns.Load(),
+		WallNs: simWallNs.Load(),
+		Events: simEvents.Load(),
+	}
+}
+
+// BenchRecord is one experiment's entry in the performance trajectory.
+// Field order is the wire order; changing names or meanings breaks the
+// trajectory's comparability, so add fields instead of editing them.
+type BenchRecord struct {
+	Name string `json:"name"`
+	// Points is how many simulation points the experiment ran.
+	Points uint64 `json:"points"`
+	// WallMs is elapsed host time for the experiment (not summed across
+	// workers).
+	WallMs float64 `json:"wall_ms"`
+	// Events and EventsPerSec measure engine throughput; EventsPerSec
+	// divides by in-run wall time summed across workers, so it is the
+	// per-worker speed, comparable across worker counts.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Mallocs is heap allocations during the experiment, process-wide.
+	Mallocs uint64 `json:"mallocs"`
+	// AllocBytes is bytes allocated during the experiment, process-wide.
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// BenchReport is the payload of one BENCH_<date>.json file.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Cores      int           `json:"cores"`
+	DatasetMB  uint64        `json:"dataset_mb"`
+	MeasureMs  int64         `json:"measure_ms"`
+	Seed       uint64        `json:"seed"`
+	Records    []BenchRecord `json:"experiments"`
+}
+
+// BenchSchema versions the report format.
+const BenchSchema = "astriflash-bench/v1"
+
+// benchExperiments is the fixed suite BenchSuite profiles: small enough to
+// finish in about a minute, broad enough to cover the closed-loop, open-
+// loop, sweep-parallel, and timeline-sampled paths.
+func benchExperiments(cfg ExpConfig) []struct {
+	name string
+	run  func() error
+} {
+	return []struct {
+		name string
+		run  func() error
+	}{
+		{"saturated/dram-only/tatp", func() error {
+			_, err := cfg.run(DRAMOnly, "tatp")
+			return err
+		}},
+		{"saturated/astriflash/tatp", func() error {
+			_, err := cfg.run(AstriFlash, "tatp")
+			return err
+		}},
+		{"saturated/os-swap/tatp", func() error {
+			_, err := cfg.run(OSSwap, "tatp")
+			return err
+		}},
+		{"fig2-scaling/tatp", func() error {
+			_, err := Fig2PagingScaling(cfg, "tatp", []int{2, 4, 8})
+			return err
+		}},
+		{"timeline-tail/tatp", func() error {
+			_, err := TimelineTailRun(cfg, "tatp", TimelineOptions{})
+			return err
+		}},
+	}
+}
+
+// BenchSuite runs the fixed profiling suite and assembles the report.
+// date is stamped verbatim (callers pass the host date, YYYY-MM-DD).
+func BenchSuite(cfg ExpConfig, date string) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.workers(),
+		Cores:      cfg.Cores,
+		DatasetMB:  cfg.DatasetBytes >> 20,
+		MeasureMs:  cfg.MeasureNs / 1_000_000,
+		Seed:       cfg.Seed,
+	}
+	for _, exp := range benchExperiments(cfg) {
+		before := SelfProfile()
+		var ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := exp.run(); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", exp.name, err)
+		}
+		wall := time.Since(start)
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		after := SelfProfile()
+		d := AggregateProfile{
+			Runs:   after.Runs - before.Runs,
+			WallNs: after.WallNs - before.WallNs,
+			Events: after.Events - before.Events,
+		}
+		rep.Records = append(rep.Records, BenchRecord{
+			Name:         exp.name,
+			Points:       d.Runs,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			Events:       d.Events,
+			EventsPerSec: d.EventsPerSec(),
+			Mallocs:      ms1.Mallocs - ms0.Mallocs,
+			AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		})
+	}
+	return rep, nil
+}
+
+// Write streams the report as indented JSON (stable key order).
+func (r *BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String summarizes the report for terminals.
+func (r *BenchReport) String() string {
+	s := fmt.Sprintf("bench %s (%s, %d workers):\n", r.Date, r.GoVersion, r.Workers)
+	for _, rec := range r.Records {
+		s += fmt.Sprintf("  %-28s %3d pts  %8.0f ms  %10.2e events/s  %9.2e mallocs\n",
+			rec.Name, rec.Points, rec.WallMs, rec.EventsPerSec, float64(rec.Mallocs))
+	}
+	return s
+}

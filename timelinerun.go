@@ -1,0 +1,222 @@
+package astriflash
+
+// Timeline capture at the driver level: EnableTimeline arms a machine's
+// per-window registry sampler, and TimelineTailRun packages the
+// fig-10-style sampled sweep behind `astribench -timeline` and `astrisim
+// -timeline`. The capture exports as the self-describing timeline CSV
+// (astritrace timeline re-renders and re-evaluates it) or OpenMetrics
+// text, and renders as per-window tables with SLO burn-rate verdicts.
+// Like tracing, sampling is observational only: a sampled run's Metrics
+// are bit-identical to an unsampled run's.
+
+import (
+	"fmt"
+	"io"
+
+	"astriflash/internal/obs"
+	"astriflash/internal/obs/timeline"
+	"astriflash/internal/runner"
+)
+
+// EnableTimeline arms per-window sampling for this machine's next run:
+// every registry counter, gauge, and histogram is snapshotted each
+// intervalNs of simulated time across the measurement window (0 means
+// timeline.DefaultIntervalNs). SLOs, when given, must name registered
+// histograms; each window then carries exact above-threshold counts for
+// burn-rate evaluation. Must be called before the run.
+func (m *Machine) EnableTimeline(intervalNs int64, slos []timeline.SLO) error {
+	s, err := timeline.New(timeline.Config{IntervalNs: intervalNs, SLOs: slos}, m.sys.Metrics())
+	if err != nil {
+		return err
+	}
+	m.sys.EnableTimeline(s)
+	return nil
+}
+
+// Registry exposes the machine's metrics registry for read-only
+// inspection (counter/gauge/histogram snapshots in CLI tools).
+func (m *Machine) Registry() *obs.Registry { return m.sys.Metrics() }
+
+// TimelineSamples returns the windows recorded by the machine's last run,
+// or nil if EnableTimeline was not called.
+func (m *Machine) TimelineSamples() []timeline.Sample {
+	if s := m.sys.Timeline(); s != nil {
+		return s.Samples()
+	}
+	return nil
+}
+
+// TimelineOptions sizes a TimelineTailRun.
+type TimelineOptions struct {
+	// IntervalNs is the sampling period (0 = timeline.DefaultIntervalNs).
+	IntervalNs int64
+	// SLOSpecs are extra objectives in timeline.ParseSLO syntax
+	// ("p99<150us", "system.service_ns:p99.9<2ms").
+	SLOSpecs []string
+	// TailFactor scales the derived DRAM-only objective: the default SLO is
+	// p99(system.response_ns) < TailFactor x the DRAM-only baseline's p99
+	// service latency (0 = 1.5, the paper's "within 1.5x of DRAM" claim).
+	// Negative disables the derived SLO.
+	TailFactor float64
+	// Loads are the open-loop load fractions of the DRAM-only maximum
+	// (nil = 0.6 and 0.9, matching TraceTailRun).
+	Loads []float64
+	// Trace additionally captures lifecycle spans, enabling span-level
+	// anatomy of SLO-violating windows in the rendered report.
+	Trace bool
+}
+
+// TimelinePoint is one sampled sweep point.
+type TimelinePoint struct {
+	Label string
+	// Load is the point's target load fraction of the DRAM-only maximum.
+	Load    float64
+	Metrics Metrics
+	samples []timeline.Sample
+	spans   []obs.Span
+}
+
+// TimelineCapture is the result of TimelineTailRun.
+type TimelineCapture struct {
+	IntervalNs int64
+	SLOs       []timeline.SLO
+	// BaselineP99ServiceNs is the DRAM-only saturated p99 service latency
+	// that sized the load axis and the derived SLO threshold.
+	BaselineP99ServiceNs int64
+	Points               []TimelinePoint
+}
+
+// Samples returns the merged windows across points, point-major in sweep
+// order (deterministic for a given config and seed).
+func (tc *TimelineCapture) Samples() []timeline.Sample {
+	var out []timeline.Sample
+	for _, p := range tc.Points {
+		out = append(out, p.samples...)
+	}
+	return out
+}
+
+// Spans returns the merged span stream (empty unless Trace was set).
+func (tc *TimelineCapture) Spans() []obs.Span {
+	var out []obs.Span
+	for _, p := range tc.Points {
+		out = append(out, p.spans...)
+	}
+	return out
+}
+
+// Verdicts evaluates the capture's SLOs over all windows.
+func (tc *TimelineCapture) Verdicts() []timeline.Verdict {
+	return timeline.Evaluate(tc.Samples(), tc.SLOs)
+}
+
+// WriteCSV streams the capture in the timeline CSV format.
+func (tc *TimelineCapture) WriteCSV(w io.Writer) error {
+	return timeline.WriteCSV(w, tc.Samples(), tc.IntervalNs, tc.SLOs)
+}
+
+// WriteOpenMetrics streams the capture in OpenMetrics text format.
+func (tc *TimelineCapture) WriteOpenMetrics(w io.Writer) error {
+	return timeline.WriteOpenMetrics(w, tc.Samples())
+}
+
+// Render formats the per-window tables, SLO verdicts, and (when spans were
+// captured) the tail anatomy of violating windows.
+func (tc *TimelineCapture) Render() string {
+	labels := map[int]string{}
+	for i, p := range tc.Points {
+		labels[pointIndex(i)] = p.Label
+	}
+	samples, verdicts := tc.Samples(), tc.Verdicts()
+	out := timeline.Render(samples, tc.SLOs, verdicts, timeline.RenderOptions{PointLabels: labels})
+	if spans := tc.Spans(); len(spans) > 0 {
+		out += timeline.RenderAnatomy(timeline.Attribute(spans, samples, verdicts))
+	}
+	return out
+}
+
+// pointIndex maps a capture's slice position to its sweep-point stamp:
+// point 0 is the unsampled DRAM-only baseline, load points start at 1
+// (mirroring TraceTailRun's seed derivation).
+func pointIndex(i int) int { return 1 + i }
+
+// TimelineTailRun is the fig-10-style sampled run: a saturated DRAM-only
+// baseline (sweep point 0, unsampled) sizes the load axis and the derived
+// SLO threshold, then AstriFlash serves Poisson arrivals at each load
+// fraction with the timeline sampler armed over the measurement window.
+// Points run under the configured worker pool; windows are merged in point
+// order, so the capture is byte-identical for any worker count.
+func TimelineTailRun(cfg ExpConfig, workloadName string, opt TimelineOptions) (*TimelineCapture, error) {
+	if workloadName == "" {
+		workloadName = "tatp"
+	}
+	loads := opt.Loads
+	if loads == nil {
+		loads = []float64{0.6, 0.9}
+	}
+	m0, err := NewMachine(cfg.optionsAt(0, DRAMOnly, workloadName))
+	if err != nil {
+		return nil, err
+	}
+	base := m0.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+	if base.ThroughputJPS == 0 || base.MeanServiceNs == 0 {
+		return nil, fmt.Errorf("astriflash: DRAM-only baseline is degenerate")
+	}
+
+	var slos []timeline.SLO
+	tail := opt.TailFactor
+	if tail == 0 {
+		tail = 1.5
+	}
+	if tail > 0 {
+		thr := int64(tail * float64(base.P99ServiceNs))
+		slos = append(slos, timeline.NewLatencySLO(
+			fmt.Sprintf("p99<%.2gx-dram", tail), "system.response_ns", 99, thr))
+	}
+	for _, spec := range opt.SLOSpecs {
+		s, err := timeline.ParseSLO(spec)
+		if err != nil {
+			return nil, err
+		}
+		slos = append(slos, s)
+	}
+
+	tc := &TimelineCapture{
+		IntervalNs:           opt.IntervalNs,
+		SLOs:                 slos,
+		BaselineP99ServiceNs: base.P99ServiceNs,
+	}
+	if tc.IntervalNs <= 0 {
+		tc.IntervalNs = timeline.DefaultIntervalNs
+	}
+	pts, err := runner.Map(len(loads), cfg.workers(), func(i int) (TimelinePoint, error) {
+		point := pointIndex(i)
+		gap := 1e9 / (base.ThroughputJPS * loads[i])
+		m, err := NewMachine(cfg.optionsAt(point, AstriFlash, workloadName))
+		if err != nil {
+			return TimelinePoint{}, err
+		}
+		if err := m.EnableTimeline(tc.IntervalNs, slos); err != nil {
+			return TimelinePoint{}, err
+		}
+		if opt.Trace {
+			m.EnableTracing()
+		}
+		res := m.RunPoisson(gap, cfg.WarmupNs, cfg.MeasureNs)
+		p := TimelinePoint{
+			Label:   fmt.Sprintf("%s/load=%.2f", res.Mode, loads[i]),
+			Load:    loads[i],
+			Metrics: res,
+			samples: m.sys.Timeline().StampPoint(point),
+		}
+		if opt.Trace {
+			p.spans = stampPoint(m.sys.Tracer().Spans(), point)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.Points = pts
+	return tc, nil
+}
