@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json figures trace-smoke timeline-smoke
+.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json figures trace-smoke timeline-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ trace-smoke:
 timeline-smoke:
 	$(GO) run ./cmd/astribench -timeline timeline-smoke.csv -cores 4 -dataset 16 -measure 5 | tee timeline-report.txt
 	$(GO) run ./cmd/astritrace timeline -in timeline-smoke.csv
+
+## Short open-loop overload sweep: hockey-stick + goodput curves per
+## admission controller, with -slo-strict so the adaptive controller
+## letting p99 escape its threshold fails the build (CI uploads the
+## report).
+overload-smoke:
+	$(GO) run ./cmd/astribench -exp overload -cores 4 -dataset 16 -measure 8 -plot -slo-strict | tee overload-report.txt
 
 ## Self-profiling suite: events/sec, allocs, wall time per experiment,
 ## written to the dated BENCH_<date>.json the repo commits as its

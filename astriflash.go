@@ -23,6 +23,9 @@ import (
 	"time"
 
 	"astriflash/internal/dramcache"
+	"astriflash/internal/loadgen"
+	"astriflash/internal/overload"
+	"astriflash/internal/sim"
 	"astriflash/internal/system"
 	"astriflash/internal/workload"
 )
@@ -299,6 +302,20 @@ type Metrics struct {
 	BCFallbacks         uint64
 	WriteAmplification  float64
 
+	// Open-loop admission and deadline observables (RunOverload runs; all
+	// zero for closed-loop and plain Poisson runs).
+	Offered        uint64 // arrivals the source generated in the window
+	Admitted       uint64 // arrivals past the front door
+	AdmissionSheds uint64 // rejected by the admission controller
+	QueueFullDrops uint64 // rejected by the bounded admission queue
+	ExpiredDrops   uint64 // shed at dispatch: deadline passed while queued
+	DeadlineMisses uint64 // served, but past their deadline
+	GoodJobs       uint64 // served within their deadline
+	ExpiredInFlash uint64 // deadline expired during a flash wait
+	// GoodputJPS is within-deadline completions per simulated second
+	// (zero when the run had no deadlines).
+	GoodputJPS float64
+
 	// Counters is the metrics registry's full window view: every
 	// registered counter's delta over the measurement window, keyed by
 	// dotted name (system.*, dramcache.*, flash.*, uthread.coreN.*). The
@@ -338,7 +355,18 @@ func fromResult(r system.Result) Metrics {
 		BCTimeouts:          r.BCTimeouts,
 		BCFallbacks:         r.BCFallbacks,
 		WriteAmplification:  r.WriteAmplification,
-		Counters:            r.Counters,
+
+		Offered:        r.Offered,
+		Admitted:       r.Admitted,
+		AdmissionSheds: r.AdmissionSheds,
+		QueueFullDrops: r.QueueFullDrops,
+		ExpiredDrops:   r.ExpiredDrops,
+		DeadlineMisses: r.DeadlineMisses,
+		GoodJobs:       r.GoodJobs,
+		ExpiredInFlash: r.ExpiredInFlash,
+		GoodputJPS:     r.GoodputJPS,
+
+		Counters: r.Counters,
 	}
 }
 
@@ -389,6 +417,129 @@ func (m *Machine) RunPoisson(meanGapNs float64, warmupNs, measureNs int64) Metri
 	return m.profiled(func() system.Result {
 		return m.sys.RunOpenLoop(meanGapNs, warmupNs, measureNs)
 	})
+}
+
+// OverloadRun configures one open-loop overload measurement: an arrival
+// shape, an admission policy, and deadline semantics. Unlike RunPoisson,
+// the source keeps sending at the offered rate when the machine falls
+// behind, so it can drive the system past its knee.
+type OverloadRun struct {
+	// Shape selects the arrival process: "poisson" (default), "mmpp"
+	// (bursty on/off), "diurnal" (sinusoidal rate curve), or
+	// "flashcrowd" (rate step).
+	Shape string
+	// MeanGapNs is the mean inter-arrival gap across the whole machine;
+	// the offered load is 1e9/MeanGapNs jobs/s.
+	MeanGapNs float64
+	// Burstiness and DwellNs shape the MMPP: the rate split between the
+	// burst and calm states (in [0,1)) and the mean state dwell time.
+	Burstiness float64
+	DwellNs    float64
+	// Amplitude and PeriodNs shape the diurnal curve.
+	Amplitude float64
+	PeriodNs  float64
+	// Surge, SurgeStartNs, SurgeDurNs shape the flash crowd: the rate
+	// multiplier and the window it applies over.
+	Surge        float64
+	SurgeStartNs float64
+	SurgeDurNs   float64
+
+	// Controller selects the admission policy: "none" (default),
+	// "static" (concurrency limit), or "codel" (adaptive shedding on
+	// queueing delay).
+	Controller string
+	// StaticLimit is the static controller's in-system concurrency bound.
+	StaticLimit int
+	// CoDelTargetNs/CoDelIntervalNs tune the adaptive controller
+	// (defaults: 50 us target, 1 ms interval).
+	CoDelTargetNs   int64
+	CoDelIntervalNs int64
+
+	// QueueLimit bounds requests awaiting first dispatch (0 = unbounded);
+	// arrivals past the bound are dropped and counted.
+	QueueLimit int
+	// DeadlineNs stamps each admitted request with arrival+DeadlineNs;
+	// completions split into good jobs and deadline misses.
+	DeadlineNs int64
+	// DropExpired sheds requests whose deadline passed while they queued,
+	// instead of serving them late. ExpiryMarginNs tightens the test:
+	// requests with less budget than the margin left at first dispatch
+	// are shed too, since they could only finish in time by beating the
+	// service tail.
+	DropExpired    bool
+	ExpiryMarginNs int64
+
+	WarmupNs  int64
+	MeasureNs int64
+}
+
+// source translates the run spec into the internal driver configuration.
+func (r OverloadRun) source() (system.SourceConfig, error) {
+	if r.MeanGapNs <= 0 {
+		return system.SourceConfig{}, fmt.Errorf("astriflash: overload run needs a positive mean gap")
+	}
+	var arrivals func(rng *sim.RNG) loadgen.Arrivals
+	switch r.Shape {
+	case "", "poisson":
+		arrivals = func(rng *sim.RNG) loadgen.Arrivals { return loadgen.NewPoisson(rng, r.MeanGapNs) }
+	case "mmpp":
+		arrivals = func(rng *sim.RNG) loadgen.Arrivals {
+			return loadgen.NewMMPP(rng, r.MeanGapNs, r.Burstiness, r.DwellNs)
+		}
+	case "diurnal":
+		arrivals = func(rng *sim.RNG) loadgen.Arrivals {
+			return loadgen.NewDiurnal(rng, r.MeanGapNs, r.Amplitude, r.PeriodNs)
+		}
+	case "flashcrowd":
+		arrivals = func(rng *sim.RNG) loadgen.Arrivals {
+			return loadgen.NewFlashCrowd(rng, r.MeanGapNs, r.Surge, r.SurgeStartNs, r.SurgeDurNs)
+		}
+	default:
+		return system.SourceConfig{}, fmt.Errorf("astriflash: unknown arrival shape %q", r.Shape)
+	}
+	var ctl overload.Controller
+	switch r.Controller {
+	case "", "none":
+	case "static":
+		if r.StaticLimit < 1 {
+			return system.SourceConfig{}, fmt.Errorf("astriflash: static controller needs a positive limit")
+		}
+		ctl = overload.NewStatic(r.StaticLimit)
+	case "codel":
+		target, interval := r.CoDelTargetNs, r.CoDelIntervalNs
+		if target <= 0 {
+			target = 50_000
+		}
+		if interval <= 0 {
+			interval = 1_000_000
+		}
+		ctl = overload.NewCoDel(target, interval)
+	default:
+		return system.SourceConfig{}, fmt.Errorf("astriflash: unknown admission controller %q", r.Controller)
+	}
+	return system.SourceConfig{
+		Arrivals:       arrivals,
+		Controller:     ctl,
+		QueueLimit:     r.QueueLimit,
+		DeadlineNs:     r.DeadlineNs,
+		DropExpired:    r.DropExpired,
+		ExpiryMarginNs: r.ExpiryMarginNs,
+		WarmupNs:       r.WarmupNs,
+		MeasureNs:      r.MeasureNs,
+	}, nil
+}
+
+// RunOverload drives the machine with an open-loop source through
+// admission control — the overload methodology: offered load is set by
+// the source, not by the machine's ability to absorb it.
+func (m *Machine) RunOverload(r OverloadRun) (Metrics, error) {
+	src, err := r.source()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.profiled(func() system.Result {
+		return m.sys.RunSource(src)
+	}), nil
 }
 
 // Run is the one-call convenience: build a machine from Options and run

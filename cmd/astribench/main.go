@@ -7,8 +7,8 @@
 //	astribench -exp fig9,table2 -cores 16 -dataset 64
 //
 // Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc, anatomy,
-// faults. Each prints the same rows/series the paper reports; EXPERIMENTS.md
-// records paper-vs-measured values.
+// faults, overload. Each prints the same rows/series the paper reports;
+// EXPERIMENTS.md records paper-vs-measured values.
 //
 // Special modes replace -exp: -trace writes a fig-10-style span trace,
 // -timeline writes a fig-10-style per-window timeline CSV with SLO
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy,faults)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy,faults,overload)")
 		cores     = flag.Int("cores", 8, "simulated cores")
 		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
@@ -44,6 +44,7 @@ func main() {
 		omOut     = flag.String("openmetrics", "", "with -timeline, also export the capture in OpenMetrics text format to this file")
 		sloFlag   = flag.String("slo", "", "with -timeline, extra comma-separated objectives (e.g. 'p99<150us') on top of the derived p99<1.5x-DRAM-only SLO")
 		benchOut  = flag.String("benchjson", "", "instead of -exp, run the self-profiling suite and write the BENCH json report to this file ('-' for stdout)")
+		sloStrict = flag.Bool("slo-strict", false, "exit non-zero on SLO failure: with -timeline, any FAIL verdict; with -exp overload, the adaptive controller letting p99 escape its threshold")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		return
 	}
 	if *tlOut != "" {
-		if err := runTimeline(cfg, *tlOut, *omOut, *sloFlag); err != nil {
+		if err := runTimeline(cfg, *tlOut, *omOut, *sloFlag, *sloStrict); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -162,6 +163,21 @@ func main() {
 			}
 			return astriflash.RenderFaults(pts), nil
 		}},
+		{"overload", func() (string, error) {
+			rep, err := astriflash.OverloadSweep(cfg, "tatp", nil)
+			if err != nil {
+				return "", err
+			}
+			out := astriflash.RenderOverload(rep)
+			if *plot {
+				out += "\n" + astriflash.PlotOverload(rep)
+			}
+			if *sloStrict && rep.ControlledFail() {
+				fmt.Println(out) // the table is the diagnostic; show it before failing
+				return "", fmt.Errorf("adaptive controller failed to hold p99 within its SLO threshold (-slo-strict)")
+			}
+			return out, nil
+		}},
 	}
 
 	known := map[string]bool{"all": true}
@@ -237,8 +253,10 @@ func runTraced(cfg astriflash.ExpConfig, path string) error {
 }
 
 // runTimeline captures the -timeline run: per-window tables and SLO
-// verdicts go to stdout, the CSV (and optional OpenMetrics export) to disk.
-func runTimeline(cfg astriflash.ExpConfig, csvPath, omPath, sloSpecs string) error {
+// verdicts go to stdout, the CSV (and optional OpenMetrics export) to
+// disk. With strict set, any FAIL verdict becomes a non-zero exit after
+// the capture is written — CI gets a red build and the artifacts.
+func runTimeline(cfg astriflash.ExpConfig, csvPath, omPath, sloSpecs string, strict bool) error {
 	start := time.Now()
 	var specs []string
 	for _, s := range strings.Split(sloSpecs, ",") {
@@ -264,6 +282,13 @@ func runTimeline(cfg astriflash.ExpConfig, csvPath, omPath, sloSpecs string) err
 	}
 	fmt.Printf("wrote %d timeline windows to %s in %.1fs; run 'astritrace timeline -in %s' to re-render\n",
 		len(tc.Samples()), csvPath, time.Since(start).Seconds(), csvPath)
+	if strict {
+		for _, v := range tc.Verdicts() {
+			if !v.Pass {
+				return fmt.Errorf("SLO %s failed (-slo-strict)", v.SLO)
+			}
+		}
+	}
 	return nil
 }
 

@@ -44,6 +44,15 @@ func main() {
 		warmupMs  = flag.Int64("warmup", 10, "warmup in simulated ms")
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in jobs/s (0 = saturated closed loop)")
+		arrivals  = flag.String("arrivals", "poisson", "with -rate, the arrival process: poisson, mmpp, diurnal, flashcrowd")
+		burst     = flag.Float64("burstiness", 0.6, "mmpp: rate split between burst and calm states, in [0,1)")
+		surge     = flag.Float64("surge", 3, "flashcrowd: rate multiplier during the surge window")
+		admit     = flag.String("admit", "none", "with -rate, the admission controller: none, static, codel")
+		admitCap  = flag.Int("admit-limit", 0, "static: in-system concurrency cap (0 = 8x cores)")
+		deadline  = flag.Int64("deadline", 0, "per-request deadline in us (0 = none); completions past it count as deadline misses")
+		dropExp   = flag.Bool("drop-expired", false, "drop requests whose deadline passed before their first dispatch")
+		queueCap  = flag.Int("queue-limit", 0, "bound on admitted-but-unfinished requests; arrivals beyond it are dropped (0 = unbounded)")
+		sloStrict = flag.Bool("slo-strict", false, "exit non-zero when any -slo verdict fails")
 		seed      = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		traceOut  = flag.String("trace", "", "write the run's lifecycle-span trace to this file (Chrome trace-event JSON; analyze with 'astritrace analyze')")
 		counters  = flag.Bool("counters", false, "also print the registry's window deltas, gauges, and histogram summaries")
@@ -105,7 +114,35 @@ func main() {
 	meas := *measureMs * 1_000_000
 	var res astriflash.Metrics
 	if *rate > 0 {
-		res = machine.RunPoisson(1e9 / *rate, warm, meas)
+		limit := *admitCap
+		if *admit == "static" && limit == 0 {
+			limit = 8 * *cores
+		}
+		// Shape timescales derive from the run window: MMPP states dwell
+		// ~20 windows per run, the diurnal "day" is one measurement
+		// window, and the flash crowd surges for the middle third of it.
+		res, err = machine.RunOverload(astriflash.OverloadRun{
+			Shape:        strings.ToLower(*arrivals),
+			MeanGapNs:    1e9 / *rate,
+			Burstiness:   *burst,
+			DwellNs:      float64(meas) / 20,
+			Amplitude:    0.5,
+			PeriodNs:     float64(meas),
+			Surge:        *surge,
+			SurgeStartNs: float64(warm) + float64(meas)/3,
+			SurgeDurNs:   float64(meas) / 3,
+			Controller:   strings.ToLower(*admit),
+			StaticLimit:  limit,
+			QueueLimit:   *queueCap,
+			DeadlineNs:   *deadline * 1000,
+			DropExpired:  *dropExp,
+			WarmupNs:     warm,
+			MeasureNs:    meas,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	} else {
 		res = machine.RunSaturated(*inflight, warm, meas)
 	}
@@ -128,12 +165,26 @@ func main() {
 	if res.ForcedSyncCount > 0 {
 		fmt.Printf("forced sync       %d forward-progress completions\n", res.ForcedSyncCount)
 	}
+	if res.Offered > 0 {
+		fmt.Printf("admission         %d offered, %d admitted, %d shed, %d queue-full drops\n",
+			res.Offered, res.Admitted, res.AdmissionSheds, res.QueueFullDrops)
+	}
+	if res.DeadlineMisses+res.ExpiredDrops+res.ExpiredInFlash > 0 {
+		fmt.Printf("deadlines         %d served late, %d dropped expired (%d expired mid-flash); goodput %.0f jobs/s\n",
+			res.DeadlineMisses, res.ExpiredDrops, res.ExpiredInFlash, res.GoodputJPS)
+	}
 	if *counters {
 		printRegistry(machine, res)
 	}
+	strictFailed := false
 	if sampling {
 		samples := machine.TimelineSamples()
 		verdicts := timeline.Evaluate(samples, slos)
+		for _, v := range verdicts {
+			if !v.Pass {
+				strictFailed = true
+			}
+		}
 		fmt.Println()
 		fmt.Print(timeline.Render(samples, slos, verdicts, timeline.RenderOptions{
 			PointLabels: map[int]string{0: fmt.Sprintf("%s/%s", res.Mode, res.Workload)},
@@ -158,6 +209,10 @@ func main() {
 	}
 	if *traceOut != "" {
 		writeTrace(machine, *traceOut)
+	}
+	if *sloStrict && strictFailed {
+		fmt.Fprintln(os.Stderr, "astrisim: SLO verdict FAIL (-slo-strict)")
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"astriflash/internal/sim"
+)
+
+// meanRate measures the long-run arrival rate (per ns) of a over n gaps.
+func meanRate(a Arrivals, n int) float64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += a.NextGap()
+	}
+	return float64(n) / float64(total)
+}
+
+func TestMMPPPreservesMeanRate(t *testing.T) {
+	const gap = 10_000.0
+	m := NewMMPP(sim.NewRNG(3), gap, 0.8, 500_000)
+	got := meanRate(m, 200_000)
+	want := 1 / gap
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("MMPP mean rate %v, want ~%v", got, want)
+	}
+}
+
+func TestMMPPIsBurstier(t *testing.T) {
+	// Count arrivals per fixed window; the MMPP's window-count variance
+	// must exceed Poisson's at the same mean rate (index of dispersion > 1).
+	disp := func(a Arrivals) float64 {
+		const window = 200_000 // 20x the mean gap
+		var counts []float64
+		now, next := int64(0), int64(0)
+		for w := 0; w < 2000; w++ {
+			end := now + window
+			c := 0.0
+			for next < end {
+				next += a.NextGap()
+				c++
+			}
+			counts = append(counts, c)
+			now = end
+		}
+		var sum, sq float64
+		for _, c := range counts {
+			sum += c
+		}
+		mean := sum / float64(len(counts))
+		for _, c := range counts {
+			sq += (c - mean) * (c - mean)
+		}
+		return sq / float64(len(counts)) / mean
+	}
+	dm := disp(NewMMPP(sim.NewRNG(5), 10_000, 0.8, 1_000_000))
+	dp := disp(NewPoisson(sim.NewRNG(5), 10_000))
+	if dm < 2*dp {
+		t.Fatalf("MMPP dispersion %v not clearly above Poisson's %v", dm, dp)
+	}
+}
+
+func TestDiurnalPreservesMeanRate(t *testing.T) {
+	const gap = 10_000.0
+	// Many whole periods so the sinusoid averages out.
+	d := NewDiurnal(sim.NewRNG(7), gap, 0.9, 2_000_000)
+	got := meanRate(d, 300_000)
+	want := 1 / gap
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("diurnal mean rate %v, want ~%v", got, want)
+	}
+}
+
+func TestDiurnalPeakToTrough(t *testing.T) {
+	// With amplitude 0.9 the peak quarter-period must see far more
+	// arrivals than the trough quarter-period.
+	const period = 4_000_000.0
+	d := NewDiurnal(sim.NewRNG(11), 10_000, 0.9, period)
+	peak, trough := 0, 0
+	var now int64
+	for i := 0; i < 400_000; i++ {
+		now += d.NextGap()
+		phase := math.Mod(float64(now), period) / period
+		switch {
+		case phase >= 0.125 && phase < 0.375: // around sin peak
+			peak++
+		case phase >= 0.625 && phase < 0.875: // around sin trough
+			trough++
+		}
+	}
+	if trough == 0 || float64(peak)/float64(trough) < 3 {
+		t.Fatalf("peak/trough arrivals %d/%d; want strong modulation", peak, trough)
+	}
+}
+
+func TestFlashCrowdStep(t *testing.T) {
+	const (
+		gap   = 10_000.0
+		start = 10_000_000.0
+		dur   = 10_000_000.0
+		surge = 5.0
+	)
+	f := NewFlashCrowd(sim.NewRNG(13), gap, surge, start, dur)
+	var now int64
+	before, during, after := 0, 0, 0
+	for now < int64(start+dur+10_000_000) {
+		now += f.NextGap()
+		switch {
+		case float64(now) < start:
+			before++
+		case float64(now) < start+dur:
+			during++
+		default:
+			after++
+		}
+	}
+	// Each phase spans ~10 ms: baseline ~1000 arrivals, surge ~5000.
+	if before < 800 || before > 1200 {
+		t.Fatalf("baseline arrivals %d, want ~1000", before)
+	}
+	ratio := float64(during) / float64(before)
+	if math.Abs(ratio-surge)/surge > 0.15 {
+		t.Fatalf("surge ratio %v, want ~%v", ratio, surge)
+	}
+	if after < 800 {
+		t.Fatalf("post-surge arrivals %d, want baseline rate restored", after)
+	}
+}
+
+func TestShapeConstructorsValidate(t *testing.T) {
+	cases := []func(){
+		func() { NewMMPP(sim.NewRNG(1), 0, 0.5, 1000) },
+		func() { NewMMPP(sim.NewRNG(1), 1000, 1.0, 1000) },
+		func() { NewMMPP(sim.NewRNG(1), 1000, 0.5, 0) },
+		func() { NewDiurnal(sim.NewRNG(1), 0, 0.5, 1000) },
+		func() { NewDiurnal(sim.NewRNG(1), 1000, -0.1, 1000) },
+		func() { NewDiurnal(sim.NewRNG(1), 1000, 0.5, 0) },
+		func() { NewFlashCrowd(sim.NewRNG(1), 0, 2, 0, 1000) },
+		func() { NewFlashCrowd(sim.NewRNG(1), 1000, 0, 0, 1000) },
+		func() { NewFlashCrowd(sim.NewRNG(1), 1000, 2, 0, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid shape did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -226,6 +226,20 @@ func (q *RunQueue) Block(now sim.Time) *Task {
 // Wake re-queues a blocked task after its page installed.
 func (q *RunQueue) Wake(t *Task) { q.runnable = append(q.runnable, t) }
 
+// OldestNewAge returns the age at now of the oldest never-scheduled task,
+// or 0 — the head-of-line queueing delay an admission controller bounds.
+// Woken tasks (re-queued after a fault, BlockedAt set) are skipped: their
+// first dispatch already happened. New tasks enter in arrival order, so
+// the first never-blocked task in the queue is the oldest.
+func (q *RunQueue) OldestNewAge(now sim.Time) int64 {
+	for _, t := range q.runnable {
+		if t.BlockedAt == 0 {
+			return int64(now - t.EnqueuedAt)
+		}
+	}
+	return 0
+}
+
 // PickNext installs the FIFO head as running, or returns nil.
 func (q *RunQueue) PickNext() *Task {
 	if q.running != nil {

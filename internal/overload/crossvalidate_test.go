@@ -1,0 +1,159 @@
+package overload
+
+// Cross-validation of the open-loop source + admission path against the
+// analytic models in internal/queueing: a Poisson source admitted through
+// a Controller into a k-server exponential queue is exactly M/M/k when
+// the controller is None, so the measured mean queueing delay must match
+// the closed form. This makes the new generator self-checking — if the
+// arrival process, the admission bookkeeping, or the queue mechanics were
+// biased, the uncongested-region numbers would drift off the analytics.
+
+import (
+	"math"
+	"testing"
+
+	"astriflash/internal/loadgen"
+	"astriflash/internal/queueing"
+	"astriflash/internal/sim"
+)
+
+// runAdmittedQueue drives an open-loop Poisson source through ctl into a
+// k-server FIFO queue with exponential service, mirroring the admission
+// flow the system driver uses (Admit at arrival, ObserveStart at first
+// dispatch). It returns the mean queueing delay of served requests and
+// the shed count.
+func runAdmittedQueue(seed uint64, meanGapNs, meanSvcNs float64, k, jobs int, ctl Controller) (meanWaitNs float64, shed int) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	arr := loadgen.NewPoisson(rng.Split(), meanGapNs)
+	svc := rng.Split()
+
+	type job struct{ arrived sim.Time }
+	var queue []job
+	busy, inSystem := 0, 0
+	var waits float64
+	served := 0
+
+	var finish func()
+	start := func(j job) {
+		busy++
+		now := eng.Now()
+		ctl.ObserveStart(now, now-j.arrived)
+		waits += float64(now - j.arrived)
+		served++
+		d := int64(svc.Exp(meanSvcNs))
+		if d < 1 {
+			d = 1
+		}
+		eng.After(d, finish)
+	}
+	finish = func() {
+		busy--
+		inSystem--
+		if len(queue) > 0 {
+			next := queue[0]
+			queue = queue[1:]
+			start(next)
+		}
+	}
+	n := 0
+	var schedule func()
+	schedule = func() {
+		if n >= jobs {
+			return
+		}
+		n++
+		now := eng.Now()
+		if ctl.Admit(now, QueueState{InSystem: inSystem, Queued: len(queue)}) {
+			inSystem++
+			j := job{arrived: now}
+			if busy < k {
+				start(j)
+			} else {
+				queue = append(queue, j)
+			}
+		} else {
+			shed++
+		}
+		eng.After(arr.NextGap(), schedule)
+	}
+	schedule()
+	eng.Run()
+	return waits / float64(served), shed
+}
+
+// TestOpenLoopSourceMatchesMM1 is the satellite cross-check: a Poisson
+// source at rho ~= 0.5 into a single server must reproduce the M/M/1 mean
+// wait W_q = rho/(mu-lambda) within 5%.
+func TestOpenLoopSourceMatchesMM1(t *testing.T) {
+	const (
+		meanSvc = 10_000.0 // ns
+		meanGap = 20_000.0 // ns -> rho = 0.5
+	)
+	got, shed := runAdmittedQueue(42, meanGap, meanSvc, 1, 400_000, None{})
+	if shed != 0 {
+		t.Fatalf("None controller shed %d requests", shed)
+	}
+	q := queueing.MM1{Lambda: 1 / meanGap, Mu: 1 / meanSvc}
+	resp, err := q.MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resp - meanSvc // mean wait = mean response - mean service
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/1 mean wait %v vs analytic %v (>5%% off)", got, want)
+	}
+}
+
+// TestOpenLoopSourceMatchesMMK extends the self-check to the multi-server
+// model the simulated machine actually resembles (k cores): mean wait
+// must match Erlang-C's C/(k*mu - lambda) within 5%.
+func TestOpenLoopSourceMatchesMMK(t *testing.T) {
+	const (
+		meanSvc = 10_000.0
+		k       = 8
+	)
+	for _, rho := range []float64{0.5, 0.7} {
+		lambda := rho * float64(k) / meanSvc
+		got, shed := runAdmittedQueue(99, 1/lambda, meanSvc, k, 400_000, None{})
+		if shed != 0 {
+			t.Fatalf("rho=%v: None controller shed %d requests", rho, shed)
+		}
+		q := queueing.MMK{Lambda: lambda, Mu: 1 / meanSvc, K: k}
+		c, err := q.ErlangC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c / (float64(k)/meanSvc - lambda)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("rho=%v: M/M/%d mean wait %v vs analytic %v (>5%% off)", rho, k, got, want)
+		}
+	}
+}
+
+// TestCoDelBoundsQueueDelayPastKnee drives the same queue 1.5x past its
+// capacity: with no controller the mean wait grows with the horizon
+// (unstable queue), while CoDel holds the served mean wait near its
+// target and sheds roughly the excess offered load.
+func TestCoDelBoundsQueueDelayPastKnee(t *testing.T) {
+	const (
+		meanSvc = 10_000.0
+		k       = 4
+		jobs    = 200_000
+	)
+	lambda := 1.5 * float64(k) / meanSvc // 1.5x capacity
+	uncontrolled, _ := runAdmittedQueue(7, 1/lambda, meanSvc, k, jobs, None{})
+
+	codel := NewCoDel(50_000, 1_000_000)
+	bounded, shed := runAdmittedQueue(7, 1/lambda, meanSvc, k, jobs, codel)
+	if bounded > 10*50_000 {
+		t.Fatalf("CoDel mean wait %v ns, want near the 50us target", bounded)
+	}
+	if uncontrolled < 20*bounded {
+		t.Fatalf("uncontrolled wait %v vs CoDel %v: divergence not visible", uncontrolled, bounded)
+	}
+	shedFrac := float64(shed) / float64(jobs)
+	if shedFrac < 0.15 || shedFrac > 0.45 {
+		t.Fatalf("CoDel shed fraction %v, want roughly the 1/3 excess", shedFrac)
+	}
+}

@@ -1,0 +1,114 @@
+package overload
+
+import (
+	"testing"
+
+	"astriflash/internal/sim"
+)
+
+func TestNoneAlwaysAdmits(t *testing.T) {
+	var c None
+	for i := 0; i < 100; i++ {
+		if !c.Admit(sim.Time(i), QueueState{InSystem: i * 1000, Queued: i * 100}) {
+			t.Fatal("None shed a request")
+		}
+	}
+}
+
+func TestStaticLimit(t *testing.T) {
+	c := NewStatic(4)
+	if !c.Admit(0, QueueState{InSystem: 3}) {
+		t.Fatal("below limit rejected")
+	}
+	if c.Admit(0, QueueState{InSystem: 4}) {
+		t.Fatal("at limit admitted")
+	}
+	if c.Sheds.Value() != 1 {
+		t.Fatalf("sheds = %d, want 1", c.Sheds.Value())
+	}
+}
+
+func TestStaticValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero limit did not panic")
+		}
+	}()
+	NewStatic(0)
+}
+
+func TestCoDelQuietBelowTarget(t *testing.T) {
+	c := NewCoDel(100_000, 1_000_000)
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now += 10_000
+		c.ObserveStart(now, 50_000) // delay comfortably under target
+		if !c.Admit(now, QueueState{InSystem: 10, Queued: 5}) {
+			t.Fatal("CoDel shed with delay below target")
+		}
+	}
+	if c.Sheds.Value() != 0 {
+		t.Fatalf("sheds = %d, want 0", c.Sheds.Value())
+	}
+}
+
+func TestCoDelShedsUnderSustainedDelay(t *testing.T) {
+	c := NewCoDel(100_000, 1_000_000)
+	now := sim.Time(0)
+	// Delay sits above target; no shedding until a full interval elapses.
+	c.ObserveStart(now, 200_000)
+	if !c.Admit(now, QueueState{Queued: 50}) {
+		t.Fatal("shed before the interval elapsed")
+	}
+	shed := 0
+	for i := 0; i < 2000; i++ {
+		now += 10_000
+		c.ObserveStart(now, 200_000)
+		if !c.Admit(now, QueueState{Queued: 50}) {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("sustained above-target delay never shed")
+	}
+	// Recovery: delay back under target stops shedding immediately.
+	c.ObserveStart(now, 10_000)
+	for i := 0; i < 100; i++ {
+		now += 10_000
+		if !c.Admit(now, QueueState{Queued: 1}) {
+			t.Fatal("shed after delay recovered")
+		}
+	}
+}
+
+func TestCoDelShedRateRamps(t *testing.T) {
+	// Under unrelieved overload the drop spacing shrinks as 1/sqrt(count),
+	// so the second half of a long episode sheds more than the first.
+	c := NewCoDel(100_000, 1_000_000)
+	now := sim.Time(0)
+	shedIn := func(steps int) int {
+		n := 0
+		for i := 0; i < steps; i++ {
+			now += 5_000
+			c.ObserveStart(now, 500_000)
+			if !c.Admit(now, QueueState{Queued: 100}) {
+				n++
+			}
+		}
+		return n
+	}
+	first := shedIn(4000)
+	second := shedIn(4000)
+	if second <= first {
+		t.Fatalf("shed rate did not ramp: first half %d, second half %d", first, second)
+	}
+}
+
+func TestCoDelValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero target did not panic")
+		}
+	}()
+	NewCoDel(0, 1000)
+}

@@ -40,6 +40,9 @@ type jobState struct {
 	// missAt/readyAt timestamp the current miss for latency attribution.
 	missAt  sim.Time
 	readyAt sim.Time
+	// deadline is the absolute completion deadline (0 = none). A request
+	// finishing past it is counted as a deadline miss, not a good job.
+	deadline sim.Time
 }
 
 // coreState is one simulated core.
@@ -196,6 +199,33 @@ func (c *coreState) kick() {
 
 // start installs a job on the core and continues its execution.
 func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) {
+	if !job.started && c.s.dropExpired && job.deadline > 0 &&
+		c.s.eng.Now()+sim.Time(c.s.expiryMarginNs) > job.deadline {
+		// The deadline passed — or less than the expiry margin of budget
+		// remains — while the request waited for its first dispatch:
+		// shed it here instead of burning core time on a response nobody
+		// is waiting for. The scheduler slot retires as
+		// if the job completed, and the core moves on. The admission
+		// controller still observes the sojourn — these are the longest
+		// waits in the system, and a controller fed only survivors'
+		// delays would read deep overload as improvement (the deeper the
+		// overload, the more of its signal this path would censor).
+		if c.s.onJobStart != nil {
+			c.s.onJobStart(job)
+		}
+		c.s.ExpiredDrops.Inc()
+		switch {
+		case th != nil:
+			c.sched.Finish()
+		case tk != nil:
+			c.runq.Finish()
+		}
+		if c.s.onJobDone != nil {
+			c.s.onJobDone(c)
+		}
+		c.kick()
+		return
+	}
 	c.setBusy(true)
 	c.cur = job
 	c.curTh = th
@@ -203,6 +233,9 @@ func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) 
 	if !job.started {
 		job.started = true
 		job.req.StartedAt = c.s.eng.Now()
+		if c.s.onJobStart != nil {
+			c.s.onJobStart(job)
+		}
 		if t := c.s.tr(); t != nil {
 			// Queue spans are emitted even when zero-length: the analyzer
 			// uses them to tell fully captured requests from ones that
@@ -243,6 +276,13 @@ func (c *coreState) runStep(job *jobState) {
 func (c *coreState) complete(job *jobState) {
 	now := c.s.eng.Now()
 	job.req.DoneAt = now
+	if job.deadline > 0 {
+		if now > job.deadline {
+			c.s.DeadlineMisses.Inc()
+		} else {
+			c.s.GoodJobs.Inc()
+		}
+	}
 	if c.s.measuring {
 		c.s.recorder.Complete(job.req)
 		c.s.JobsDone.Inc()
@@ -390,6 +430,7 @@ func (c *coreState) syncWait(job *jobState) {
 	page := job.steps[job.pc].Access.Page()
 	start := c.s.eng.Now()
 	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		c.s.noteFlashExpiry(job, start, at)
 		c.s.attr.add(c.s, attrFlash, at-start)
 		c.span(job, obs.StageSyncWait, uint64(page), start, at)
 		c.dramAccess(job)
@@ -425,6 +466,7 @@ func (c *coreState) userThreadMiss(job *jobState) {
 	job.missAt = now
 	job.readyAt = 0
 	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		c.s.noteFlashExpiry(job, job.missAt, at)
 		job.readyAt = at
 		c.s.attr.add(c.s, attrFlash, at-job.missAt)
 		c.sched.NotifyReady(th, at)
@@ -461,6 +503,7 @@ func (c *coreState) osFault(job *jobState) {
 	job.readyAt = 0
 	c.runq.Block(now)
 	c.s.dc.OnPageReady(page, func(at sim.Time) {
+		c.s.noteFlashExpiry(job, job.missAt, at)
 		c.s.attr.add(c.s, attrFlash, at-job.missAt)
 		installDone := c.s.kernel.InstallPage(at)
 		c.s.attr.add(c.s, attrOS, installDone-at)
@@ -481,6 +524,30 @@ func (c *coreState) osFault(job *jobState) {
 	resumeAt := faultDone + c.s.kernel.ContextSwitch()
 	c.s.attr.add(c.s, attrOS, resumeAt-now)
 	c.s.eng.AtFunc(resumeAt, coreKickEvent, c)
+}
+
+// noteFlashExpiry counts a request whose deadline fell inside a flash
+// wait: it entered the wait with time on the clock and came out an SLO
+// casualty. Only the crossing wait counts, so each request is counted at
+// most once however many misses follow.
+func (s *System) noteFlashExpiry(job *jobState, waitStart, readyAt sim.Time) {
+	if job.deadline > 0 && waitStart <= job.deadline && readyAt > job.deadline {
+		s.ExpiredInFlash.Inc()
+	}
+}
+
+// oldestNewAgeNs returns the age at now of this core's oldest job still
+// waiting for its first dispatch, or 0.
+func (c *coreState) oldestNewAgeNs(now sim.Time) int64 {
+	switch {
+	case c.sched != nil:
+		return c.sched.OldestNewAge(now)
+	case c.runq != nil:
+		return c.runq.OldestNewAge(now)
+	case len(c.fifo) > 0:
+		return int64(now - c.fifo[0].req.ArrivedAt)
+	}
+	return 0
 }
 
 // queuedNew reports scheduler depth for diagnostics.

@@ -23,6 +23,14 @@ func (s *System) registerMetrics() {
 	r.Counter("system.jobs_done", &s.JobsDone)
 	r.Counter("system.miss_signals", &s.MissSignals)
 	r.Counter("system.forced_sync", &s.ForcedSync)
+	// Admission and deadline accounting (RunSource; zero elsewhere).
+	r.Counter("system.admitted", &s.Admitted)
+	r.Counter("system.admission_sheds", &s.AdmissionSheds)
+	r.Counter("system.queue_full_drops", &s.QueueFullDrops)
+	r.Counter("system.expired_drops", &s.ExpiredDrops)
+	r.Counter("system.deadline_miss", &s.DeadlineMisses)
+	r.Counter("system.good_jobs", &s.GoodJobs)
+	r.Counter("system.expired_in_flash", &s.ExpiredInFlash)
 	r.Histogram("system.miss_interval_ns", s.MissInterval)
 	// The recorder's latency distributions, under the registry namespace so
 	// the timeline sampler can window them (response is what SLOs govern).
@@ -37,6 +45,11 @@ func (s *System) registerMetrics() {
 			n += c.queuedNew() + c.queuedPending()
 		}
 		return float64(n)
+	})
+	// Age of the oldest not-yet-dispatched request across cores: the
+	// head-of-line sojourn an admission controller is trying to bound.
+	r.Gauge("system.head_of_line_age_ns", func() float64 {
+		return float64(s.headOfLineAgeNs(s.eng.Now()))
 	})
 	s.dc.RegisterMetrics(r)
 	s.flash.RegisterMetrics(r)

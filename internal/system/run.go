@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"astriflash/internal/loadgen"
+	"astriflash/internal/overload"
 	"astriflash/internal/sim"
 )
 
@@ -52,6 +53,20 @@ type Result struct {
 	BCTimeouts          uint64 // backside-controller watchdog firings
 	BCFallbacks         uint64 // exhausted-retry recovered-copy completions
 	WriteAmplification  float64
+
+	// Open-loop admission and deadline observables (RunSource runs; all
+	// zero for closed-loop and unlimited open-loop runs).
+	Offered        uint64 // arrivals the source generated in the window
+	Admitted       uint64 // arrivals past the front door
+	AdmissionSheds uint64 // rejected by the admission controller
+	QueueFullDrops uint64 // rejected by the bounded admission queue
+	ExpiredDrops   uint64 // shed at dispatch: deadline passed while queued
+	DeadlineMisses uint64 // served, but past their deadline
+	GoodJobs       uint64 // served within their deadline
+	ExpiredInFlash uint64 // deadline expired during a flash wait
+	// GoodputJPS is within-deadline completions per second of simulated
+	// time (zero when the run had no deadlines).
+	GoodputJPS float64
 
 	// Counters is the full registry view of the measurement window: every
 	// registered counter's delta over the window, keyed by dotted name
@@ -132,7 +147,17 @@ func (s *System) collect(windowNs int64, snap map[string]uint64) Result {
 		BCFallbacks:         d["dramcache.bc_fallbacks"],
 		WriteAmplification:  s.flash.WriteAmplification(),
 		Counters:            d,
+
+		Admitted:       d["system.admitted"],
+		AdmissionSheds: d["system.admission_sheds"],
+		QueueFullDrops: d["system.queue_full_drops"],
+		ExpiredDrops:   d["system.expired_drops"],
+		DeadlineMisses: d["system.deadline_miss"],
+		GoodJobs:       d["system.good_jobs"],
+		ExpiredInFlash: d["system.expired_in_flash"],
 	}
+	res.Offered = res.Admitted + res.AdmissionSheds + res.QueueFullDrops
+	res.GoodputJPS = float64(res.GoodJobs) * 1e9 / float64(windowNs)
 	return res
 }
 
@@ -170,31 +195,134 @@ func (s *System) RunClosedLoop(inflightPerCore int, warmupNs, measureNs int64) R
 // RunOpenLoop drives Poisson arrivals at the given mean inter-arrival gap
 // (per system, spread round-robin across cores) for the tail-latency
 // experiments (Figure 10). Requests arriving during warmup are served but
-// not recorded.
+// not recorded. It is the unlimited special case of RunSource: every
+// arrival is admitted, no queue bound, no deadlines.
 func (s *System) RunOpenLoop(meanInterArrivalNs float64, warmupNs, measureNs int64) Result {
-	arr := loadgen.NewPoisson(s.rng.Split(), meanInterArrivalNs)
+	return s.RunSource(SourceConfig{
+		Arrivals: func(rng *sim.RNG) loadgen.Arrivals {
+			return loadgen.NewPoisson(rng, meanInterArrivalNs)
+		},
+		WarmupNs:  warmupNs,
+		MeasureNs: measureNs,
+	})
+}
+
+// SourceConfig configures an open-loop source run (RunSource).
+type SourceConfig struct {
+	// Arrivals builds the arrival process from a seed-derived RNG stream
+	// (the source's only randomness). Required.
+	Arrivals func(rng *sim.RNG) loadgen.Arrivals
+	// Controller decides admission per arrival; nil admits everything.
+	Controller overload.Controller
+	// QueueLimit bounds requests awaiting their first dispatch across the
+	// machine; arrivals past the bound are dropped and counted. 0 means
+	// unbounded.
+	QueueLimit int
+	// DeadlineNs, when positive, stamps each admitted request with an
+	// absolute deadline of arrival + DeadlineNs; completions are split
+	// into good jobs and deadline misses.
+	DeadlineNs int64
+	// DropExpired sheds requests whose deadline already passed at first
+	// dispatch instead of serving them late (needs DeadlineNs > 0).
+	DropExpired bool
+	// ExpiryMarginNs tightens the DropExpired test: a request is shed at
+	// first dispatch unless at least this much of its budget remains.
+	// Without a margin only already-expired requests are shed, and every
+	// request dispatched just under the wire is served into a deadline
+	// miss — under sustained overload that cohort alone can exceed 1% of
+	// completions and become the served p99. Set it to the service-tail
+	// estimate (e.g. the uncongested p99): a request with less budget
+	// than that left would have to beat the uncongested tail to make its
+	// deadline.
+	ExpiryMarginNs int64
+
+	WarmupNs  int64
+	MeasureNs int64
+}
+
+// queuedTotal is the machine-wide count of admitted requests still waiting
+// for their first dispatch — the admission queue the source bounds.
+func (s *System) queuedTotal() int {
+	n := 0
+	for _, c := range s.cores {
+		n += c.queuedNew()
+	}
+	return n
+}
+
+// headOfLineAgeNs returns the age at now of the oldest request still
+// waiting for its first dispatch, across cores — the worst head-of-line
+// sojourn, for telemetry.
+func (s *System) headOfLineAgeNs(now sim.Time) int64 {
+	var oldest int64
+	for _, c := range s.cores {
+		if age := c.oldestNewAgeNs(now); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// RunSource drives an open-loop arrival process through admission control
+// into the machine: each arrival consults the bounded admission queue and
+// the controller, and admitted requests spawn round-robin across cores
+// with an optional deadline. An open-loop source keeps sending when the
+// machine falls behind — exactly what a closed-loop driver cannot model —
+// so this is the driver for overload experiments. Requests arriving
+// during warmup are served but not recorded.
+func (s *System) RunSource(cfg SourceConfig) Result {
+	if cfg.Arrivals == nil {
+		panic("system: RunSource needs an arrival process")
+	}
+	if cfg.DropExpired && cfg.DeadlineNs <= 0 {
+		panic("system: DropExpired needs a deadline")
+	}
+	arr := cfg.Arrivals(s.rng.Split())
+	inSystem := 0
+	s.dropExpired = cfg.DropExpired
+	s.expiryMarginNs = cfg.ExpiryMarginNs
+	s.onJobDone = func(*coreState) { inSystem-- }
+	if ctl := cfg.Controller; ctl != nil {
+		s.onJobStart = func(job *jobState) {
+			now := s.eng.Now()
+			ctl.ObserveStart(now, now-job.req.ArrivedAt)
+		}
+	}
 	next := 0
 	var schedule func()
-	end := warmupNs + measureNs
+	end := cfg.WarmupNs + cfg.MeasureNs
 	schedule = func() {
 		now := s.eng.Now()
 		if now >= end {
 			return
 		}
-		c := s.cores[next%len(s.cores)]
-		next++
-		s.spawnJob(c, now)
+		switch {
+		case cfg.QueueLimit > 0 && s.queuedTotal() >= cfg.QueueLimit:
+			s.QueueFullDrops.Inc()
+		case cfg.Controller != nil && !cfg.Controller.Admit(now,
+			overload.QueueState{InSystem: inSystem, Queued: s.queuedTotal()}):
+			s.AdmissionSheds.Inc()
+		default:
+			s.Admitted.Inc()
+			inSystem++
+			c := s.cores[next%len(s.cores)]
+			next++
+			job := s.spawnJob(c, now)
+			if cfg.DeadlineNs > 0 {
+				job.deadline = now + sim.Time(cfg.DeadlineNs)
+			}
+		}
 		s.eng.After(sim.Time(arr.NextGap()), schedule)
 	}
 	s.eng.After(sim.Time(arr.NextGap()), schedule)
-	s.eng.RunUntil(warmupNs)
+	s.eng.RunUntil(cfg.WarmupNs)
 	s.measuring = true
 	if s.trace != nil {
 		s.dc.Trace = s.trace
 	}
 	if s.sampler != nil {
 		// The sampler stops at end, so the drain below runs sampler-free.
-		s.sampler.Start(s.eng, warmupNs, end)
+		s.sampler.Start(s.eng, cfg.WarmupNs, end)
 	}
 	snap := s.snapshot()
 	s.eng.RunUntil(end)
@@ -202,5 +330,5 @@ func (s *System) RunOpenLoop(meanInterArrivalNs float64, warmupNs, measureNs int
 	s.eng.Run()
 	s.measuring = false
 	s.dc.Trace = nil
-	return s.collect(measureNs, snap)
+	return s.collect(cfg.MeasureNs, snap)
 }

@@ -202,6 +202,15 @@ type System struct {
 	// onJobDone, when set by a driver, fires after each completion
 	// (closed-loop replenishment).
 	onJobDone func(c *coreState)
+	// onJobStart, when set by a driver, fires when a request begins its
+	// first service (the sojourn signal admission controllers feed on).
+	onJobStart func(job *jobState)
+	// dropExpired sheds past-deadline requests at first dispatch instead
+	// of serving them late (set by the open-loop source driver);
+	// expiryMarginNs additionally sheds requests with less than this
+	// much budget remaining at dispatch (SourceConfig.ExpiryMarginNs).
+	dropExpired    bool
+	expiryMarginNs int64
 
 	// dcMissHook, when set, observes every DRAM-cache miss page (diagnostics).
 	dcMissHook func(p mem.PageNum)
@@ -222,6 +231,16 @@ type System struct {
 	MissSignals  stats.Counter
 	ForcedSync   stats.Counter
 	MissInterval *stats.Histogram // per-core time between DRAM-cache misses
+
+	// Open-loop admission and deadline accounting (RunSource; all zero
+	// for closed-loop and unlimited open-loop runs).
+	Admitted       stats.Counter // requests past the front door
+	AdmissionSheds stats.Counter // rejected by the admission controller
+	QueueFullDrops stats.Counter // rejected by the bounded admission queue
+	ExpiredDrops   stats.Counter // shed at dispatch: deadline passed while queued
+	DeadlineMisses stats.Counter // served, but past their deadline
+	GoodJobs       stats.Counter // served within their deadline
+	ExpiredInFlash stats.Counter // deadline expired during a flash wait
 }
 
 // New builds the system and its workload dataset.

@@ -300,6 +300,15 @@ func (s *Scheduler) ResumeDirect(th *Thread) {
 	s.running = th
 }
 
+// OldestNewAge returns the age of the oldest never-scheduled job at now,
+// or 0 — the head-of-line queueing delay an admission controller bounds.
+func (s *Scheduler) OldestNewAge(now sim.Time) int64 {
+	if len(s.newQ) == 0 {
+		return 0
+	}
+	return now - s.newQ[0].EnqueuedAt
+}
+
 // OldestPendingAge returns the age of the pending head at now, or 0.
 func (s *Scheduler) OldestPendingAge(now sim.Time) int64 {
 	if len(s.pending) == 0 {

@@ -160,6 +160,10 @@ func benchExperiments(cfg ExpConfig) []struct {
 			_, err := TimelineTailRun(cfg, "tatp", TimelineOptions{})
 			return err
 		}},
+		{"overload/tatp", func() error {
+			_, err := OverloadSweep(cfg, "tatp", []float64{0.5, 1.5})
+			return err
+		}},
 	}
 }
 
