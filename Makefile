@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json figures trace-smoke timeline-smoke overload-smoke
+.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json bench-diff figures trace-smoke timeline-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 ## Tier-2 verify: vet + race detector over the whole tree.
 verify-race: vet race
@@ -66,3 +66,10 @@ overload-smoke:
 ## performance trajectory.
 bench-json:
 	$(GO) run ./cmd/astribench -benchjson BENCH_$$(date +%F).json
+
+## Regenerate the suite into an untracked file and diff it against the
+## newest committed baseline; fails on a >15% events/sec regression in any
+## saturated experiment (the CI perf gate).
+bench-diff:
+	$(GO) run ./cmd/astribench -benchjson bench-current.json
+	$(GO) run ./tools/benchdiff -fail-regression 15 $$(ls BENCH_*.json | sort | tail -1) bench-current.json

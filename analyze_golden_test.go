@@ -95,6 +95,9 @@ func TestGoldenTraceReproducible(t *testing.T) {
 	m.EnableTracing()
 	m.RunSaturated(8, 1_000_000, 250_000)
 	got := m.sys.Tracer().Spans()
+	// The committed file is in canonical order (WriteTrace sorts); bring
+	// the freshly captured spans into the same order before comparing.
+	obs.SortSpans(got)
 	if len(got) != len(want) {
 		t.Fatalf("regenerated trace has %d spans, committed file has %d", len(got), len(want))
 	}

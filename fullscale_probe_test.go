@@ -1,0 +1,32 @@
+package astriflash
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestFullScaleProbe times one full-scale paper-config point (16 cores,
+// 2 GB dataset) end to end — construction and saturated run separately —
+// and logs events/sec and simulated-ns/sec. It is the manual companion
+// to the full-scale/astriflash/tatp bench-json record: run it with
+// FULLSCALE=1 when construction or hot-path cost at scale is in question.
+func TestFullScaleProbe(t *testing.T) {
+	if os.Getenv("FULLSCALE") == "" {
+		t.Skip("set FULLSCALE=1")
+	}
+	cfg := DefaultExpConfig()
+	cfg.Cores = 16
+	cfg.DatasetBytes = 2 << 30
+	start := time.Now()
+	m, err := NewMachine(cfg.options(AstriFlash, "tatp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := time.Since(start)
+	res := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs)
+	p := m.LastRunProfile()
+	t.Logf("build %.1fs run %.1fs events %d (%.2e ev/s, %.2e sim-ns/s) throughput %.0f jobs/s miss %.2f%%",
+		build.Seconds(), float64(p.WallNs)/1e9, p.Events, p.EventsPerSec(), p.SimNsPerSec(),
+		res.ThroughputJPS, res.DRAMCacheMissRatio*100)
+}

@@ -1,0 +1,161 @@
+package astriflash
+
+// Hybrid analytic fast-path for sweep experiments. A saturated closed-loop
+// point is stationary after warmup: every window of the measurement is
+// statistically the same regime, so event-simulating the whole window only
+// buys variance reduction. The hybrid mode event-simulates a calibration
+// window (a fraction of the full one) and advances the rest analytically —
+// which for a stationary measure means accepting the calibration estimate —
+// but only when the contended resource says the stationarity assumption is
+// safe: the flash device, modeled as an M/M/k queue (k channels, one mean
+// read service each), must sit well below saturation. Near saturation the
+// flash queue's relaxation time explodes and a short window under-samples
+// the congestion tail, so those points fall back to full simulation. The
+// cross-validation test (hybrid_test.go) holds the hybrid Fig-2 curve
+// within 5% of full simulation at every point.
+
+import (
+	"fmt"
+
+	"astriflash/internal/queueing"
+	"astriflash/internal/runner"
+)
+
+// HybridOptions tunes the analytic fast-path.
+type HybridOptions struct {
+	// CalibrationFraction is the share of the measurement window that is
+	// event-simulated (default 0.25). The rest is covered by the
+	// stationarity argument above.
+	CalibrationFraction float64
+	// MaxFlashUtilization is the validity envelope: points whose measured
+	// flash arrival rate puts the M/M/k device above this utilization
+	// fall back to full simulation (default 0.7).
+	MaxFlashUtilization float64
+}
+
+func (h HybridOptions) withDefaults() HybridOptions {
+	if h.CalibrationFraction <= 0 || h.CalibrationFraction > 1 {
+		h.CalibrationFraction = 0.25
+	}
+	if h.MaxFlashUtilization <= 0 || h.MaxFlashUtilization >= 1 {
+		h.MaxFlashUtilization = 0.7
+	}
+	return h
+}
+
+// HybridPointInfo records how one sweep point was obtained.
+type HybridPointInfo struct {
+	Cores int
+	Mode  string
+	// Analytic is true when the calibration window was accepted; false
+	// means the point fell back to full event simulation.
+	Analytic bool
+	// FlashUtilization is the M/M/k utilization measured in the
+	// calibration window (the gate input).
+	FlashUtilization float64
+}
+
+// hybridPoint runs one saturated sweep point through the fast-path: a
+// calibration window first, then either analytic acceptance or a full-sim
+// fallback. The fallback rebuilds the machine so its result is
+// bit-identical to the non-hybrid point.
+func hybridPoint(cfg ExpConfig, o Options, h HybridOptions) (Metrics, HybridPointInfo, error) {
+	info := HybridPointInfo{Cores: o.Cores, Mode: o.Mode.String()}
+	calNs := int64(float64(cfg.MeasureNs) * h.CalibrationFraction)
+	if calNs < 1_000_000 {
+		calNs = cfg.MeasureNs // windows this small are all calibration
+	}
+	if calNs >= cfg.MeasureNs {
+		m, err := NewMachine(o)
+		if err != nil {
+			return Metrics{}, info, err
+		}
+		return m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs), info, nil
+	}
+
+	m, err := NewMachine(o)
+	if err != nil {
+		return Metrics{}, info, err
+	}
+	cal := m.RunSaturated(cfg.Inflight, cfg.WarmupNs, calNs)
+
+	// Validity gate: offered flash-read load against the device's channel
+	// service capacity, in consistent per-nanosecond units.
+	sysCfg, err := o.build()
+	if err != nil {
+		return Metrics{}, info, err
+	}
+	serviceNs := float64(sysCfg.Flash.ReadLatency + sysCfg.Flash.ChannelTransfer)
+	q := queueing.MMK{
+		Lambda: float64(cal.FlashReads) / float64(calNs),
+		Mu:     1 / serviceNs,
+		K:      sysCfg.Flash.Channels,
+	}
+	info.FlashUtilization = q.Utilization()
+	if info.FlashUtilization <= h.MaxFlashUtilization {
+		info.Analytic = true
+		return cal, info, nil
+	}
+	// Contended flash: the short window is not trustworthy. Re-run the
+	// point in full from a fresh machine (same seed, same result as the
+	// non-hybrid sweep).
+	m, err = NewMachine(o)
+	if err != nil {
+		return Metrics{}, info, err
+	}
+	return m.RunSaturated(cfg.Inflight, cfg.WarmupNs, cfg.MeasureNs), info, nil
+}
+
+// Fig2PagingScalingHybrid reproduces Figure 2 through the hybrid
+// fast-path: each (cores, mode) point event-simulates only its calibration
+// window when the flash device is uncontended. It returns the same points
+// Fig2PagingScaling would, plus per-point provenance.
+func Fig2PagingScalingHybrid(cfg ExpConfig, workloadName string, coreCounts []int, h HybridOptions) ([]Fig2Point, []HybridPointInfo, error) {
+	h = h.withDefaults()
+	if coreCounts == nil {
+		coreCounts = []int{2, 4, 8, 16}
+	}
+	modes := []Mode{AstriFlash, OSSwap}
+	type pointRes struct {
+		m    Metrics
+		info HybridPointInfo
+	}
+	res, err := runner.Map(len(coreCounts)*len(modes), cfg.workers(), func(i int) (pointRes, error) {
+		c := cfg
+		c.Cores = coreCounts[i/len(modes)]
+		mode := modes[i%len(modes)]
+		m, info, err := hybridPoint(c, c.optionsAt(i, mode, workloadName), h)
+		if err != nil {
+			return pointRes{}, fmt.Errorf("fig2 hybrid %s/%d cores: %w", mode, c.Cores, err)
+		}
+		return pointRes{m: m, info: info}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Fig2Point
+	var infos []HybridPointInfo
+	for ci, n := range coreCounts {
+		pt := Fig2Point{Cores: n, PerCoreThroughput: map[string]float64{}}
+		for mi, mode := range modes {
+			r := res[ci*len(modes)+mi]
+			pt.PerCoreThroughput[mode.String()] = r.m.ThroughputJPS / float64(n)
+			infos = append(infos, r.info)
+		}
+		out = append(out, pt)
+	}
+	return out, infos, nil
+}
+
+// RenderHybridInfo formats the per-point provenance of a hybrid sweep.
+func RenderHybridInfo(infos []HybridPointInfo) string {
+	s := "hybrid provenance (analytic = calibration window accepted):\n"
+	for _, in := range infos {
+		how := "full sim (flash contended)"
+		if in.Analytic {
+			how = "analytic"
+		}
+		s += fmt.Sprintf("  %2d cores %-12s flash util %.2f  %s\n", in.Cores, in.Mode, in.FlashUtilization, how)
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package astriflash
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHybridFig2Within5Percent is the hybrid mode's validity contract: at
+// every Fig-2 point the analytic fast-path must land within 5% of full
+// event simulation. Both sweeps are deterministic, so this is a fixed
+// property of the calibration-window size and the validity gate, not a
+// statistical assertion.
+func TestHybridFig2Within5Percent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two Fig-2 sweeps")
+	}
+	if raceEnabled {
+		t.Skip("numeric cross-validation only; minutes-long under the race detector")
+	}
+	cfg := DefaultExpConfig()
+	cores := []int{2, 4, 8}
+	full, err := Fig2PagingScaling(cfg, "tatp", cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, infos, err := Fig2PagingScalingHybrid(cfg, "tatp", cores, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := 0
+	for _, in := range infos {
+		if in.Analytic {
+			analytic++
+		}
+	}
+	if analytic == 0 {
+		t.Error("no point took the analytic fast-path; the hybrid mode is not exercising its estimate")
+	}
+	for i := range full {
+		for mode, want := range full[i].PerCoreThroughput {
+			got := hyb[i].PerCoreThroughput[mode]
+			if want == 0 {
+				t.Fatalf("%d cores %s: full sim made no progress", full[i].Cores, mode)
+			}
+			if dev := math.Abs(got-want) / want; dev > 0.05 {
+				t.Errorf("%d cores %s: hybrid %.0f jobs/s/core vs full %.0f (%.1f%% off, want <= 5%%)",
+					full[i].Cores, mode, got, want, dev*100)
+			}
+		}
+	}
+}

@@ -14,16 +14,25 @@ import (
 	"astriflash/internal/stats"
 )
 
+// entry is one cache way: key, last-touch stamp, and state bits packed
+// together so a set probe walks contiguous memory.
+type entry struct {
+	key   uint64
+	lru   uint64 // last-touch stamp
+	valid bool
+	dirty bool
+}
+
 // Cache is a set-associative cache with LRU replacement over uint64 keys
 // (block numbers for data caches, page numbers for TLBs). It tracks only
-// presence and dirtiness; data contents live with the workloads.
+// presence and dirtiness; data contents live with the workloads. Entries
+// live in one flat array indexed set*ways+way: construction is a single
+// allocation (a sweep builds thousands of caches) and probes stay within
+// one or two hardware cache lines per set.
 type Cache struct {
 	sets    int
 	ways    int
-	keys    [][]uint64
-	dirty   [][]bool
-	valid   [][]bool
-	lru     [][]uint64 // last-touch stamps
+	entries []entry
 	stamp   uint64
 	Metrics stats.Ratio
 }
@@ -34,18 +43,12 @@ func NewCache(sets, ways int) *Cache {
 	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cachehier: invalid geometry sets=%d ways=%d", sets, ways))
 	}
-	c := &Cache{sets: sets, ways: ways}
-	c.keys = make([][]uint64, sets)
-	c.dirty = make([][]bool, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.keys[i] = make([]uint64, ways)
-		c.dirty[i] = make([]bool, ways)
-		c.valid[i] = make([]bool, ways)
-		c.lru[i] = make([]uint64, ways)
-	}
-	return c
+	return &Cache{sets: sets, ways: ways, entries: make([]entry, sets*ways)}
+}
+
+// set returns the ways of set s as a subslice of the flat entry store.
+func (c *Cache) set(s int) []entry {
+	return c.entries[s*c.ways : (s+1)*c.ways]
 }
 
 // Sets returns the number of sets.
@@ -66,13 +69,13 @@ func (c *Cache) setOf(key uint64) int {
 // Lookup probes for key and updates LRU on a hit. On a write hit the line
 // is marked dirty. It reports whether the key was present.
 func (c *Cache) Lookup(key uint64, write bool) bool {
-	s := c.setOf(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.keys[s][w] == key {
+	s := c.set(c.setOf(key))
+	for w := range s {
+		if s[w].valid && s[w].key == key {
 			c.stamp++
-			c.lru[s][w] = c.stamp
+			s[w].lru = c.stamp
 			if write {
-				c.dirty[s][w] = true
+				s[w].dirty = true
 			}
 			c.Metrics.Hit()
 			return true
@@ -84,9 +87,8 @@ func (c *Cache) Lookup(key uint64, write bool) bool {
 
 // Contains probes without updating LRU or metrics.
 func (c *Cache) Contains(key uint64) bool {
-	s := c.setOf(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.keys[s][w] == key {
+	for _, e := range c.set(c.setOf(key)) {
+		if e.valid && e.key == key {
 			return true
 		}
 	}
@@ -103,37 +105,32 @@ type Victim struct {
 // It returns the victim, if any. Inserting an already-present key only
 // refreshes its LRU state.
 func (c *Cache) Insert(key uint64, dirty bool) (Victim, bool) {
-	s := c.setOf(key)
+	s := c.set(c.setOf(key))
 	c.stamp++
 	// Refresh if present.
-	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.keys[s][w] == key {
-			c.lru[s][w] = c.stamp
-			c.dirty[s][w] = c.dirty[s][w] || dirty
+	for w := range s {
+		if s[w].valid && s[w].key == key {
+			s[w].lru = c.stamp
+			s[w].dirty = s[w].dirty || dirty
 			return Victim{}, false
 		}
 	}
 	// Free way?
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[s][w] {
-			c.valid[s][w] = true
-			c.keys[s][w] = key
-			c.dirty[s][w] = dirty
-			c.lru[s][w] = c.stamp
+	for w := range s {
+		if !s[w].valid {
+			s[w] = entry{key: key, lru: c.stamp, valid: true, dirty: dirty}
 			return Victim{}, false
 		}
 	}
 	// Evict LRU.
 	lruWay := 0
-	for w := 1; w < c.ways; w++ {
-		if c.lru[s][w] < c.lru[s][lruWay] {
+	for w := 1; w < len(s); w++ {
+		if s[w].lru < s[lruWay].lru {
 			lruWay = w
 		}
 	}
-	v := Victim{Key: c.keys[s][lruWay], Dirty: c.dirty[s][lruWay]}
-	c.keys[s][lruWay] = key
-	c.dirty[s][lruWay] = dirty
-	c.lru[s][lruWay] = c.stamp
+	v := Victim{Key: s[lruWay].key, Dirty: s[lruWay].dirty}
+	s[lruWay] = entry{key: key, lru: c.stamp, valid: true, dirty: dirty}
 	return v, true
 }
 
@@ -141,10 +138,10 @@ func (c *Cache) Insert(key uint64, dirty bool) (Victim, bool) {
 // invalidations on DRAM-cache evictions). It reports whether the key was
 // present.
 func (c *Cache) Invalidate(key uint64) bool {
-	s := c.setOf(key)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[s][w] && c.keys[s][w] == key {
-			c.valid[s][w] = false
+	s := c.set(c.setOf(key))
+	for w := range s {
+		if s[w].valid && s[w].key == key {
+			s[w].valid = false
 			return true
 		}
 	}
@@ -153,21 +150,17 @@ func (c *Cache) Invalidate(key uint64) bool {
 
 // InvalidateAll empties the cache (full TLB shootdown / context switch).
 func (c *Cache) InvalidateAll() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			c.valid[s][w] = false
-		}
+	for i := range c.entries {
+		c.entries[i].valid = false
 	}
 }
 
 // Resident returns the number of valid entries.
 func (c *Cache) Resident() int {
 	n := 0
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			if c.valid[s][w] {
-				n++
-			}
+	for _, e := range c.entries {
+		if e.valid {
+			n++
 		}
 	}
 	return n

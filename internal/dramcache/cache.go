@@ -117,7 +117,11 @@ type Cache struct {
 	dram  *dram.Device
 	flash *flash.Device
 
-	sets     [][]line
+	// lines is the tag/state store, one flat array indexed set*Ways+way.
+	// A flat backing array keeps set probes on one cache line and makes
+	// per-point System construction a single allocation instead of one
+	// per set.
+	lines    []line
 	nsets    int
 	stamp    uint64
 	msr      *MSR
@@ -191,11 +195,13 @@ func New(eng *sim.Engine, cfg Config, dev *dram.Device, fl *flash.Device) *Cache
 		MissLat:   stats.NewHistogram(),
 		RefillLat: stats.NewHistogram(),
 	}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	c.lines = make([]line, nsets*cfg.Ways)
 	return c
+}
+
+// set returns the ways of set i as a subslice of the flat line store.
+func (c *Cache) set(i int) []line {
+	return c.lines[i*c.cfg.Ways : (i+1)*c.cfg.Ways]
 }
 
 // Sets returns the number of sets.
@@ -214,7 +220,7 @@ func (c *Cache) setOf(p mem.PageNum) int {
 
 // Contains reports whether page p is resident (no timing, no LRU update).
 func (c *Cache) Contains(p mem.PageNum) bool {
-	for _, l := range c.sets[c.setOf(p)] {
+	for _, l := range c.set(c.setOf(p)) {
 		if l.valid && l.page == p {
 			return true
 		}
@@ -225,11 +231,9 @@ func (c *Cache) Contains(p mem.PageNum) bool {
 // Resident returns the number of valid pages.
 func (c *Cache) Resident() int {
 	n := 0
-	for _, s := range c.sets {
-		for _, l := range s {
-			if l.valid {
-				n++
-			}
+	for _, l := range c.lines {
+		if l.valid {
+			n++
 		}
 	}
 	return n
@@ -240,7 +244,7 @@ func (c *Cache) Preload(p mem.PageNum) {
 	if c.Contains(p) {
 		return
 	}
-	s := c.sets[c.setOf(p)]
+	s := c.set(c.setOf(p))
 	c.stamp++
 	for w := range s {
 		if !s[w].valid {
@@ -253,12 +257,16 @@ func (c *Cache) Preload(p mem.PageNum) {
 	s[w] = line{page: p, valid: true, lru: c.stamp, installed: c.stamp}
 }
 
-// Access is the FC entry point (Section IV-B1): one data request from the
-// on-chip hierarchy. FC opens the set's row, reads the tag column, and on
-// a hit transfers the requested 64 B block; on a miss it hands the page to
-// BC and sends a miss reply. done is called with the outcome at the time
-// the reply reaches the requester.
-func (c *Cache) Access(a mem.Access, done func(Result)) {
+// AccessSync is the FC entry point (Section IV-B1): one data request from
+// the on-chip hierarchy. FC opens the set's row, reads the tag column, and
+// on a hit transfers the requested 64 B block; on a miss it hands the page
+// to BC and sends a miss reply. The probe, set update, and any miss
+// machinery (MSR allocate, victim prep, flash fetch) all happen now,
+// exactly as in the callback form; the returned Result says whether the
+// access hit and when the reply (hit data or miss signal) reaches the
+// requester. Flattened callers consume the Result inline instead of
+// paying an event hop for the reply.
+func (c *Cache) AccessSync(a mem.Access) Result {
 	now := c.eng.Now()
 	p := a.Page()
 	setIdx := c.setOf(p)
@@ -268,7 +276,7 @@ func (c *Cache) Access(a mem.Access, done func(Result)) {
 	tagDone := c.dram.Access(now, row, 1)
 	replyAt := tagDone + c.cfg.FCOpNs
 
-	s := c.sets[setIdx]
+	s := c.set(setIdx)
 	for w := range s {
 		if s[w].valid && s[w].page == p {
 			if c.fp != nil && !c.fp.fpOnAccess(p, a.Addr) {
@@ -280,8 +288,7 @@ func (c *Cache) Access(a mem.Access, done func(Result)) {
 				missAt := replyAt + c.cfg.FCOpNs
 				c.MissLat.Record(missAt - now)
 				c.fetchUnderpredicted(p, missAt)
-				c.eng.At(missAt, func() { done(Result{Hit: false, At: missAt}) })
-				return
+				return Result{Hit: false, At: missAt}
 			}
 			// Hit: a further CAS fetches the requested block.
 			c.stamp++
@@ -293,8 +300,7 @@ func (c *Cache) Access(a mem.Access, done func(Result)) {
 			at := dataDone + c.cfg.FCOpNs
 			c.Accesses.Hit()
 			c.HitLat.Record(at - now)
-			c.eng.At(at, func() { done(Result{Hit: true, At: at}) })
-			return
+			return Result{Hit: true, At: at}
 		}
 	}
 
@@ -309,7 +315,14 @@ func (c *Cache) Access(a mem.Access, done func(Result)) {
 		}
 	}
 	c.handleMiss(p, a.Write, missAt)
-	c.eng.At(missAt, func() { done(Result{Hit: false, At: missAt}) })
+	return Result{Hit: false, At: missAt}
+}
+
+// Access is the callback form of AccessSync: done fires as its own event
+// at the time the reply reaches the requester.
+func (c *Cache) Access(a mem.Access, done func(Result)) {
+	r := c.AccessSync(a)
+	c.eng.At(r.At, func() { done(r) })
 }
 
 // Pin increments page p's pin count: pinned pages are skipped during
@@ -336,7 +349,7 @@ func (c *Cache) Pinned() int { return len(c.pinned) }
 // must preserve that property explicitly or super-hot pages whose
 // traffic the LLC absorbs would churn through flash.
 func (c *Cache) Touch(p mem.PageNum) {
-	s := c.sets[c.setOf(p)]
+	s := c.set(c.setOf(p))
 	for w := range s {
 		if s[w].valid && s[w].page == p {
 			c.stamp++
@@ -350,7 +363,7 @@ func (c *Cache) Touch(p mem.PageNum) {
 // absent pages are ignored — the rare writeback racing an eviction is
 // forwarded straight to flash by the system layer. It reports residency.
 func (c *Cache) MarkDirty(p mem.PageNum) bool {
-	s := c.sets[c.setOf(p)]
+	s := c.set(c.setOf(p))
 	for w := range s {
 		if s[w].valid && s[w].page == p {
 			s[w].dirty = true
@@ -360,10 +373,10 @@ func (c *Cache) MarkDirty(p mem.PageNum) bool {
 	return false
 }
 
-// AccessAlwaysHit prices a hit-path access (tag probe plus data transfer)
-// regardless of contents: the DRAM-only baseline, where the whole dataset
-// is DRAM-resident.
-func (c *Cache) AccessAlwaysHit(a mem.Access, done func(Result)) {
+// AccessAlwaysHitSync prices a hit-path access (tag probe plus data
+// transfer) regardless of contents: the DRAM-only baseline, where the
+// whole dataset is DRAM-resident.
+func (c *Cache) AccessAlwaysHitSync(a mem.Access) Result {
 	now := c.eng.Now()
 	setIdx := c.setOf(a.Page())
 	row := c.dram.RowOf(setIdx)
@@ -372,7 +385,13 @@ func (c *Cache) AccessAlwaysHit(a mem.Access, done func(Result)) {
 	at := dataDone + c.cfg.FCOpNs
 	c.Accesses.Hit()
 	c.HitLat.Record(at - now)
-	c.eng.At(at, func() { done(Result{Hit: true, At: at}) })
+	return Result{Hit: true, At: at}
+}
+
+// AccessAlwaysHit is the callback form of AccessAlwaysHitSync.
+func (c *Cache) AccessAlwaysHit(a mem.Access, done func(Result)) {
+	r := c.AccessAlwaysHitSync(a)
+	c.eng.At(r.At, func() { done(r) })
 }
 
 // OnPageReady registers cb to fire when page p is installed (or, under
@@ -509,7 +528,7 @@ func (c *Cache) retryOrFallback(p mem.PageNum, reqTime sim.Time, attempt int) {
 // prepareVictim ensures the set has a free way by staging the LRU page in
 // the evict buffer and, if dirty, writing it back to flash.
 func (c *Cache) prepareVictim(p mem.PageNum) {
-	s := c.sets[c.setOf(p)]
+	s := c.set(c.setOf(p))
 	for w := range s {
 		if !s[w].valid {
 			return // free way exists
@@ -590,7 +609,7 @@ func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
 	}
 	wrDone := c.dram.Access(at, row, blocks+1) + c.cfg.BCOpNs
 
-	s := c.sets[setIdx]
+	s := c.set(setIdx)
 	c.stamp++
 	installed := false
 	for w := range s {
@@ -660,8 +679,8 @@ func (c *Cache) PendingMisses() int { return c.msr.Outstanding() + len(c.msrWait
 // waiter page is actually missing. It returns "" when consistent.
 func (c *Cache) CheckInvariants() string {
 	seen := make(map[mem.PageNum]bool)
-	for si, s := range c.sets {
-		for _, l := range s {
+	for si := 0; si < c.nsets; si++ {
+		for _, l := range c.set(si) {
 			if !l.valid {
 				continue
 			}

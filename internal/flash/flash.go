@@ -176,14 +176,21 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		ReadLatHist:  stats.NewHistogram(),
 		WriteLatHist: stats.NewHistogram(),
 	}
+	// One owner slab for the whole device, sliced per block: building a
+	// device costs a handful of allocations instead of one per block, so
+	// sweeps that construct a machine per point churn far less memory.
+	owners := make([]mem.PageNum, np*cfg.BlocksPerPlane*cfg.PagesPerBlock)
+	for i := range owners {
+		owners[i] = invalidLPN
+	}
+	blocks := make([]block, np*cfg.BlocksPerPlane)
+	freeBlocks := make([]int, np*(cfg.BlocksPerPlane-1))
 	for p := range d.planes {
 		pl := &d.planes[p]
-		pl.blocks = make([]block, cfg.BlocksPerPlane)
+		pl.blocks, blocks = blocks[:cfg.BlocksPerPlane:cfg.BlocksPerPlane], blocks[cfg.BlocksPerPlane:]
+		pl.freeBlocks, freeBlocks = freeBlocks[:0:cfg.BlocksPerPlane-1], freeBlocks[cfg.BlocksPerPlane-1:]
 		for b := range pl.blocks {
-			pl.blocks[b].owners = make([]mem.PageNum, cfg.PagesPerBlock)
-			for i := range pl.blocks[b].owners {
-				pl.blocks[b].owners[i] = invalidLPN
-			}
+			pl.blocks[b].owners, owners = owners[:cfg.PagesPerBlock:cfg.PagesPerBlock], owners[cfg.PagesPerBlock:]
 			if b != 0 {
 				pl.freeBlocks = append(pl.freeBlocks, b)
 			}

@@ -5,7 +5,37 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
+
+// SortSpans orders spans into the canonical trace order: sweep point,
+// then start and end time, then request, fetch, core, stage, and page.
+// Event-driven and flattened execution emit the same span *set* in
+// different interleavings; the canonical order makes trace files
+// byte-comparable across execution strategies.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		switch {
+		case a.Point != b.Point:
+			return a.Point < b.Point
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.End != b.End:
+			return a.End < b.End
+		case a.Req != b.Req:
+			return a.Req < b.Req
+		case a.Fetch != b.Fetch:
+			return a.Fetch < b.Fetch
+		case a.Core != b.Core:
+			return a.Core < b.Core
+		case a.Stage != b.Stage:
+			return a.Stage < b.Stage
+		default:
+			return a.Page < b.Page
+		}
+	})
+}
 
 // Trace file format: a Chrome trace-event JSON array (load it in
 // chrome://tracing or Perfetto), one complete-event object per line.
@@ -35,8 +65,10 @@ type traceArgs struct {
 	EndNs   int64  `json:"end_ns"`
 }
 
-// WriteTrace streams spans as a Chrome trace-event JSON array.
+// WriteTrace streams spans as a Chrome trace-event JSON array, in
+// canonical order (the slice is sorted in place; see SortSpans).
 func WriteTrace(w io.Writer, spans []Span) error {
+	SortSpans(spans)
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString("[\n"); err != nil {
 		return err

@@ -35,8 +35,17 @@ const (
 // plus argument: AtFunc events carry the caller's func and arg directly
 // (no allocation for package-level funcs and pointer args), while At
 // events carry the closure itself as the argument of a static trampoline.
+//
+// pri is the event's scheduling time: the instant it was (logically)
+// pushed. For At/AtFunc it is simply Now() at push time, which makes the
+// (at, pri, seq) order identical to the historical (at, seq) order —
+// seq already increases with push time. AtFuncPri lets flattened hot
+// paths push an event early while stamping it with the time an unflattened
+// event chain would have pushed it, so same-instant events from different
+// cores still fire in the exact order the original chain produced.
 type event struct {
 	at  Time
+	pri Time
 	seq uint64
 	fn  func(any)
 	arg any
@@ -45,17 +54,23 @@ type event struct {
 // callClosure is the trampoline for At/After: the closure rides in arg.
 func callClosure(a any) { a.(func())() }
 
-// before orders events by time, then by scheduling order, so same-instant
-// events fire deterministically.
+// before orders events by time, then by logical push time, then by actual
+// scheduling order, so same-instant events fire deterministically.
 func (e *event) before(o *event) bool {
-	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.pri != o.pri {
+		return e.pri < o.pri
+	}
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event simulator clock and event queue.
 type Engine struct {
 	now Time
 	seq uint64
-	// events is a 4-ary min-heap ordered by (at, seq). Entries are stored
+	// events is a 4-ary min-heap ordered by (at, pri, seq). Entries are stored
 	// by value; the slice doubles as a free list, since popped slots are
 	// reused by later pushes without reallocating.
 	events []event
@@ -89,27 +104,32 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of queued, unexecuted events.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// push appends ev and sifts it up the 4-ary heap.
+// push appends ev and sifts it up the 4-ary heap. The sift moves
+// displaced parents down into the hole instead of swapping, so each
+// level costs one event copy rather than two; the comparison sequence
+// (and therefore heap layout and determinism) is identical.
 func (e *Engine) push(ev event) {
 	h := append(e.events, ev)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !h[i].before(&h[p]) {
+		if !ev.before(&h[p]) {
 			break
 		}
-		h[i], h[p] = h[p], h[i]
+		h[i] = h[p]
 		i = p
 	}
+	h[i] = ev
 	e.events = h
 }
 
-// pop removes and returns the minimum event, sifting the last entry down.
+// pop removes and returns the minimum event, sifting the last entry down
+// with the same hole-moving technique as push.
 func (e *Engine) pop() event {
 	h := e.events
 	root := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
+	last := h[n]
 	h[n] = event{} // drop callback references so fired closures can be GC'd
 	h = h[:n]
 	i := 0
@@ -128,11 +148,14 @@ func (e *Engine) pop() event {
 				best = j
 			}
 		}
-		if !h[best].before(&h[i]) {
+		if !h[best].before(&last) {
 			break
 		}
-		h[i], h[best] = h[best], h[i]
+		h[i] = h[best]
 		i = best
+	}
+	if n > 0 {
+		h[i] = last
 	}
 	e.events = h
 	return root
@@ -145,7 +168,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: callClosure, arg: fn})
+	e.push(event{at: t, pri: e.now, seq: e.seq, fn: callClosure, arg: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -165,7 +188,25 @@ func (e *Engine) AtFunc(t Time, fn func(any), arg any) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
+	e.push(event{at: t, pri: e.now, seq: e.seq, fn: fn, arg: arg})
+}
+
+// AtFuncPri schedules fn(arg) at absolute time t with an explicit logical
+// push time pri. Flattened per-access code uses it to schedule an event
+// "from the future": the callback fires at t but ties against other
+// time-t events as if it had been pushed at pri, reproducing the firing
+// order of the unflattened event chain exactly. pri is clamped to t
+// (an event cannot logically be pushed after it fires) and, like every
+// scheduling call, t must not precede the clock.
+func (e *Engine) AtFuncPri(t, pri Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if pri > t {
+		pri = t
+	}
+	e.seq++
+	e.push(event{at: t, pri: pri, seq: e.seq, fn: fn, arg: arg})
 }
 
 // AfterFunc schedules fn(arg) d nanoseconds from now, allocation-free for

@@ -21,7 +21,7 @@ type jobState struct {
 	// back-pointer lets hot-path events be scheduled through the engine's
 	// allocation-free AfterFunc with the job itself as the argument.
 	core    *coreState
-	req     *loadgen.Request
+	req     loadgen.Request
 	steps   []workload.Step
 	pc      int
 	started bool
@@ -43,6 +43,9 @@ type jobState struct {
 	// deadline is the absolute completion deadline (0 = none). A request
 	// finishing past it is counted as a deadline miss, not a good job.
 	deadline sim.Time
+	// dcIssued carries the step's DRAM-cache issue instant across the
+	// flattened path's allocation-free reply events (flat.go).
+	dcIssued sim.Time
 }
 
 // coreState is one simulated core.
@@ -55,8 +58,11 @@ type coreState struct {
 
 	sched *uthread.Scheduler // user-thread modes
 	runq  *ospaging.RunQueue // OS-Swap
-	fifo  []*jobState        // DRAM-only / Flash-Sync simple queue
-	cur   *jobState          // job owning the core right now
+	// fifo is the DRAM-only / Flash-Sync simple queue, a head-indexed
+	// ring over one slice so steady-state push/pop never reallocates.
+	fifo     []*jobState
+	fifoHead int
+	cur      *jobState // job owning the core right now
 	curTh *uthread.Thread    // its thread (user-thread modes)
 	curTk *ospaging.Task     // its task (OS-Swap)
 
@@ -154,7 +160,7 @@ func (c *coreState) enqueue(job *jobState) {
 	case c.runq != nil:
 		c.runq.Spawn(job, now)
 	default:
-		c.fifo = append(c.fifo, job)
+		c.fifoPush(job)
 	}
 	if !c.busy {
 		c.kick()
@@ -188,14 +194,41 @@ func (c *coreState) kick() {
 		}
 		c.start(tk.Payload.(*jobState), nil, tk)
 	default:
-		if len(c.fifo) == 0 {
+		if c.fifoLen() == 0 {
 			return
 		}
-		job := c.fifo[0]
-		c.fifo = c.fifo[1:]
-		c.start(job, nil, nil)
+		c.start(c.fifoPop(), nil, nil)
 	}
 }
+
+// fifoPush appends a job to the simple queue, compacting the ring when
+// the slice is full but has consumed head slots to reclaim.
+func (c *coreState) fifoPush(job *jobState) {
+	if len(c.fifo) == cap(c.fifo) && c.fifoHead > 0 {
+		n := copy(c.fifo, c.fifo[c.fifoHead:])
+		for i := n; i < len(c.fifo); i++ {
+			c.fifo[i] = nil
+		}
+		c.fifo = c.fifo[:n]
+		c.fifoHead = 0
+	}
+	c.fifo = append(c.fifo, job)
+}
+
+// fifoPop removes and returns the head job.
+func (c *coreState) fifoPop() *jobState {
+	job := c.fifo[c.fifoHead]
+	c.fifo[c.fifoHead] = nil
+	c.fifoHead++
+	if c.fifoHead == len(c.fifo) {
+		c.fifo = c.fifo[:0]
+		c.fifoHead = 0
+	}
+	return job
+}
+
+// fifoLen is the number of queued jobs.
+func (c *coreState) fifoLen() int { return len(c.fifo) - c.fifoHead }
 
 // start installs a job on the core and continues its execution.
 func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) {
@@ -224,6 +257,7 @@ func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) 
 			c.s.onJobDone(c)
 		}
 		c.kick()
+		c.s.freeJob(job)
 		return
 	}
 	c.setBusy(true)
@@ -261,6 +295,10 @@ func (c *coreState) start(job *jobState, th *uthread.Thread, tk *ospaging.Task) 
 
 // runStep executes the compute phase of the job's next step.
 func (c *coreState) runStep(job *jobState) {
+	if c.s.flat {
+		c.flatAdvance(job, c.s.eng.Now())
+		return
+	}
 	if job.pc >= len(job.steps) {
 		c.complete(job)
 		return
@@ -284,7 +322,7 @@ func (c *coreState) complete(job *jobState) {
 		}
 	}
 	if c.s.measuring {
-		c.s.recorder.Complete(job.req)
+		c.s.recorder.Complete(&job.req)
 		c.s.JobsDone.Inc()
 	}
 	if t := c.s.tr(); t != nil {
@@ -302,11 +340,19 @@ func (c *coreState) complete(job *jobState) {
 		c.s.onJobDone(c)
 	}
 	c.kick()
+	// Every event and callback referencing the job has fired by now (the
+	// completion is the chain's last event), so the record can be reused.
+	c.s.freeJob(job)
 }
 
 // access performs the job's current step's memory reference: TLB, on-chip
 // hierarchy, then the DRAM cache.
 func (c *coreState) access(job *jobState) {
+	if c.s.flat {
+		now := c.s.eng.Now()
+		c.flatAccess(job, now, now, true)
+		return
+	}
 	step := job.steps[job.pc]
 	vpn := step.Access.Page()
 	if lat, hit := c.tlb.Lookup(vpn); hit {
@@ -343,6 +389,10 @@ func (c *coreState) chipAccess(job *jobState) {
 
 // dramAccess probes the DRAM cache (or flat DRAM for DRAM-only).
 func (c *coreState) dramAccess(job *jobState) {
+	if c.s.flat {
+		c.flatDRAMAccess(job)
+		return
+	}
 	step := job.steps[job.pc]
 	issued := c.s.eng.Now()
 	if c.s.cfg.Mode == DRAMOnly {
@@ -544,8 +594,8 @@ func (c *coreState) oldestNewAgeNs(now sim.Time) int64 {
 		return c.sched.OldestNewAge(now)
 	case c.runq != nil:
 		return c.runq.OldestNewAge(now)
-	case len(c.fifo) > 0:
-		return int64(now - c.fifo[0].req.ArrivedAt)
+	case c.fifoLen() > 0:
+		return int64(now - c.fifo[c.fifoHead].req.ArrivedAt)
 	}
 	return 0
 }
@@ -558,7 +608,7 @@ func (c *coreState) queuedNew() int {
 	case c.runq != nil:
 		return c.runq.Runnable()
 	default:
-		return len(c.fifo)
+		return c.fifoLen()
 	}
 }
 

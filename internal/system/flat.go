@@ -1,0 +1,166 @@
+package system
+
+// Flattened per-access hot path (the perf counterpart of core.go).
+//
+// The unflattened chain turns every memory access into a string of heap
+// operations — compute -> access -> chip -> dram -> step-done, each its
+// own event, plus four backend events per flat page-table walk and a
+// closure per DRAM-cache reply — even though between true wait points
+// every latency is a deterministic sum. The flattened path folds the
+// compute phase, the TLB probe, and the flat-partition walk into
+// straight-line code inside the event that starts the step, and schedules
+// the next event directly at the instant the step first interacts with
+// shared state (the on-chip probe event, whose handler refreshes DRAM-
+// cache recency or issues the DRAM-cache probe). DRAM-cache replies are
+// scheduled allocation-free through AtFunc instead of callback closures.
+//
+// Bit-identity with the unflattened chain rests on three rules:
+//
+//  1. Private state may move. A core's TLB is touched only by that
+//     core's one running job (shootdowns are priced, never applied), and
+//     its counters are not registered in the metrics registry, so probing
+//     it at the instant the step starts instead of at the logical probe
+//     time is unobservable. Nothing else moves: the on-chip probe, the
+//     DRAM-cache recency refresh, and the probe itself all stay at their
+//     exact unflattened instants.
+//
+//  2. Elided events must not shift event-queue tie-breaks. The engine
+//     orders (at, pri, push-sequence); pri is the pushing event's time,
+//     so an event pushed early from flattened code carries its legacy
+//     push time via AtFuncPri. Push *sequence* ties resolve identically
+//     because every surviving event sits at the same (at, pri) as its
+//     unflattened counterpart and every push happens from an event whose
+//     (at, pri) equals the elided pusher's parent: comparing the
+//     ancestor chains shifted by one generation yields the same order.
+//
+//  3. Observation follows logical time. Attribution and spans for
+//     inline-executed stages are gated by measuredAt on the instant the
+//     emitting event would have fired, not by the clock-driven measuring
+//     flag (observe.go), so the measurement window cuts identically.
+//
+// The chain downstream of the on-chip probe — chipAccess, stepDone,
+// dramAccess dispatch, and the whole miss machinery — is shared with the
+// unflattened path in core.go; only the reply scheduling differs.
+
+import (
+	"astriflash/internal/obs"
+	"astriflash/internal/sim"
+)
+
+// Package-level event callbacks for the flattened path; like core.go's,
+// (top-level func, pointer arg) pairs schedule allocation-free.
+func jobDCHitEvent(a any)  { j := a.(*jobState); j.core.flatDCHit(j) }
+func jobDCMissEvent(a any) { j := a.(*jobState); j.core.flatDCMiss(j) }
+func jobWalkEvent(a any)   { j := a.(*jobState); j.core.flatWalkStart(j) }
+
+// flatAdvance runs the job from the top of step pc. The clock always
+// equals t0 (steps begin at real events: a step-done, a DRAM-cache
+// reply, a dispatch), so completion and compute accounting run exactly
+// as the unflattened runStep would.
+func (c *coreState) flatAdvance(job *jobState, t0 sim.Time) {
+	if job.pc >= len(job.steps) {
+		c.complete(job)
+		return
+	}
+	step := job.steps[job.pc]
+	c.s.attr.add(c.s, attrCompute, step.ComputeNs)
+	c.span(job, obs.StageCompute, 0, t0, t0+step.ComputeNs)
+	c.flatAccess(job, t0, t0+step.ComputeNs, false)
+}
+
+// flatAccess performs the step's memory reference. t0 is when the
+// unflattened chain scheduled its access event, t1 when that event fires
+// (the TLB probe instant). resume marks the re-issued access of a thread
+// regaining the core: the unflattened chain runs that probe inline at the
+// current instant, so a noDP walk must also start inline.
+func (c *coreState) flatAccess(job *jobState, t0, t1 sim.Time, resume bool) {
+	step := job.steps[job.pc]
+	vpn := step.Access.Page()
+	if lat, hit := c.tlb.Lookup(vpn); hit {
+		c.spanAt(t1, job, obs.StageTLB, uint64(vpn), t1, t1+lat)
+		c.s.eng.AtFuncPri(t1+lat, t1, jobChipAccessEvent, job)
+		return
+	}
+	if c.s.flatWalkNs > 0 {
+		// Flat-partition walk: a deterministic sum (levels x flat-DRAM
+		// access) folded into straight-line code. The chip probe that
+		// follows carries the priority of the walk's last backend event,
+		// which is what pushed it in the unflattened chain.
+		t2 := t1 + c.s.flatWalkNs
+		c.wkr.NoteWalk(c.s.flatWalkNs)
+		c.s.attrAt(attrWalk, c.s.flatWalkNs, t2)
+		c.spanAt(t2, job, obs.StageTLB, uint64(vpn), t1, t2)
+		c.tlb.Insert(vpn)
+		c.s.eng.AtFuncPri(t2, t2-c.s.cfg.FlatPTAccessNs, jobChipAccessEvent, job)
+		return
+	}
+	// noDP: the walk reads page-table pages through the DRAM cache
+	// (shared state), so it is event-simulated from t1 exactly as the
+	// unflattened access event would have started it.
+	if resume {
+		c.flatWalkStart(job)
+		return
+	}
+	c.s.eng.AtFuncPri(t1, t0, jobWalkEvent, job)
+}
+
+// flatWalkStart begins an event-simulated page-table walk at the current
+// instant (the noDP configuration, where table pages can hit flash). The
+// walk's completion continues into the shared chipAccess exactly as the
+// unflattened walk callback does.
+func (c *coreState) flatWalkStart(j *jobState) {
+	vpn := j.steps[j.pc].Access.Page()
+	walkStart := c.s.eng.Now()
+	c.wkr.Walk(c.s.eng, vpn, func(at sim.Time) {
+		c.s.attr.add(c.s, attrWalk, at-walkStart)
+		c.span(j, obs.StageTLB, uint64(vpn), walkStart, at)
+		c.tlb.Insert(vpn)
+		c.chipAccess(j)
+	})
+}
+
+// flatDRAMAccess probes the DRAM cache at the current instant. The probe
+// event survives flattening — the cache is shared — but the callback
+// closure does not: the reply is scheduled allocation-free exactly where
+// the callback-based Access would have scheduled it.
+func (c *coreState) flatDRAMAccess(job *jobState) {
+	step := job.steps[job.pc]
+	job.dcIssued = c.s.eng.Now()
+	if c.s.cfg.Mode == DRAMOnly {
+		r := c.s.dc.AccessAlwaysHitSync(step.Access)
+		c.s.eng.AtFunc(r.At, jobDCHitEvent, job)
+		return
+	}
+	r := c.s.dc.AccessSync(step.Access)
+	if r.Hit {
+		c.s.eng.AtFunc(r.At, jobDCHitEvent, job)
+		return
+	}
+	c.s.eng.AtFunc(r.At, jobDCMissEvent, job)
+}
+
+// flatDCHit is the DRAM-cache reply for a hit, firing at the same instant
+// the callback-based reply would have; the step retires through the
+// shared stepDone.
+func (c *coreState) flatDCHit(j *jobState) {
+	at := c.s.eng.Now()
+	step := j.steps[j.pc]
+	c.s.attr.add(c.s, attrDRAM, at-j.dcIssued)
+	c.span(j, obs.StageDRAM, uint64(step.Access.Page()), j.dcIssued, at)
+	j.faultRetries = 0
+	if j.hasPin {
+		c.s.dc.Unpin(j.pinnedPage)
+		j.hasPin = false
+	}
+	c.hier.Fill(step.Access)
+	c.stepDone(j)
+}
+
+// flatDCMiss is the DRAM-cache reply for a miss: hand off to the shared
+// miss machinery in core.go, which is a true wait point and stays
+// event-driven.
+func (c *coreState) flatDCMiss(j *jobState) {
+	at := c.s.eng.Now()
+	c.span(j, obs.StageMissSignal, uint64(j.steps[j.pc].Access.Page()), j.dcIssued, at)
+	c.onDRAMMiss(j)
+}

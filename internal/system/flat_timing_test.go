@@ -1,0 +1,35 @@
+package system
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFlatVsLegacyTiming logs wall-time and event-count deltas between the
+// flattened and legacy per-access paths on the bench sizing; it asserts
+// nothing (timings are environment-dependent) but makes the comparison
+// reproducible from a plain test run.
+func TestFlatVsLegacyTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe")
+	}
+	for _, mode := range []Mode{DRAMOnly, AstriFlash, OSSwap} {
+		for _, legacy := range []bool{false, true} {
+			cfg := DefaultConfig(mode, "tatp")
+			cfg.Cores = 8
+			cfg.Workload.DatasetBytes = 32 << 20
+			cfg.Seed = 42367
+			cfg.LegacyEvents = legacy
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			s.RunClosedLoop(48, 10_000_000, 20_000_000)
+			wall := time.Since(start)
+			ev := s.Engine().Fired()
+			t.Logf("%v legacy=%v wall %4.0f ms events %8d (%.2e ev/s)",
+				mode, legacy, float64(wall.Nanoseconds())/1e6, ev, float64(ev)/wall.Seconds())
+		}
+	}
+}

@@ -2,10 +2,12 @@ package system
 
 import (
 	"fmt"
+	"math"
 
 	"astriflash/internal/loadgen"
 	"astriflash/internal/overload"
 	"astriflash/internal/sim"
+	"astriflash/internal/workload"
 )
 
 // onJobDone, when set by a driver, fires after each completion (closed-
@@ -81,16 +83,51 @@ func (r Result) String() string {
 		r.P99RespNs/1000, r.P99ServiceNs/1000, r.DRAMCacheMissRatio*100)
 }
 
-// spawnJob materializes a fresh workload request for core c at time now.
+// spawnJob materializes a fresh workload request for core c at time now,
+// reusing a pooled job record (and its step slice) when one is free.
 func (s *System) spawnJob(c *coreState, arrived sim.Time) *jobState {
 	s.reqSeq++
-	job := &jobState{
-		core:  c,
-		req:   &loadgen.Request{ID: s.reqSeq, ArrivedAt: arrived},
-		steps: s.wl.NewJob().Steps,
-	}
+	job := s.newJob()
+	job.core = c
+	job.req = loadgen.Request{ID: s.reqSeq, ArrivedAt: arrived}
+	job.steps = s.nextJobSteps(job.steps)
 	c.enqueue(job)
 	return job
+}
+
+// newJob pops a recycled job record, or allocates the pool's first ones.
+func (s *System) newJob() *jobState {
+	if n := len(s.jobPool); n > 0 {
+		job := s.jobPool[n-1]
+		s.jobPool[n-1] = nil
+		s.jobPool = s.jobPool[:n-1]
+		return job
+	}
+	return &jobState{}
+}
+
+// freeJob returns a retired job record to the pool. Callers guarantee no
+// event or callback still references it (complete and the expired-drop
+// shed are the chain's terminal points).
+func (s *System) freeJob(job *jobState) {
+	steps := job.steps[:0]
+	*job = jobState{steps: steps}
+	s.jobPool = append(s.jobPool, job)
+}
+
+// nextJobSteps generates the next job's trace, writing into buf's backing
+// array when the workload supports in-place generation. Both paths
+// consume the workload RNG identically. Fresh buffers start with room for
+// the longest trace any stock workload emits, so a pooled buffer that
+// first held a short job never regrows when it later draws a long one.
+func (s *System) nextJobSteps(buf []workload.Step) []workload.Step {
+	if s.stepReuser != nil {
+		if cap(buf) == 0 {
+			buf = make([]workload.Step, 0, 4*s.cfg.Workload.OpsPerJob+8)
+		}
+		return s.stepReuser.NewJobSteps(buf)
+	}
+	return s.wl.NewJob().Steps
 }
 
 // snapshot freezes the registry's cumulative counters at measurement
@@ -172,6 +209,9 @@ func (s *System) RunClosedLoop(inflightPerCore int, warmupNs, measureNs int64) R
 	s.onJobDone = func(c *coreState) {
 		s.spawnJob(c, s.eng.Now())
 	}
+	// The window bounds are fixed up front so the flattened path can gate
+	// inline-executed stages by logical event time (measuredAt).
+	s.mStart, s.mEnd = warmupNs, warmupNs+measureNs
 	for _, c := range s.cores {
 		for i := 0; i < inflightPerCore; i++ {
 			s.spawnJob(c, 0)
@@ -279,6 +319,10 @@ func (s *System) RunSource(cfg SourceConfig) Result {
 	}
 	arr := cfg.Arrivals(s.rng.Split())
 	inSystem := 0
+	// Open-loop runs drain in-flight requests past the window end with
+	// measurement still on ("tail samples are complete" below), so the
+	// logical window never closes.
+	s.mStart, s.mEnd = cfg.WarmupNs, math.MaxInt64
 	s.dropExpired = cfg.DropExpired
 	s.expiryMarginNs = cfg.ExpiryMarginNs
 	s.onJobDone = func(*coreState) { inSystem-- }

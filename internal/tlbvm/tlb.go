@@ -192,6 +192,16 @@ func (w *Walker) Walk(eng *sim.Engine, vpn mem.PageNum, done func(at sim.Time)) 
 	step(0)
 }
 
+// NoteWalk records a walk whose latency the caller computed inline: with
+// a flat-partition backend every level is a fixed-latency read, so the
+// walk is a deterministic sum (PT.Levels() x per-level latency) and the
+// flattened hot path folds it into straight-line code instead of one
+// event per level. The counters advance exactly as Walk would.
+func (w *Walker) NoteWalk(lat int64) {
+	w.Walks.Inc()
+	w.WalkLat.Record(lat)
+}
+
 // ShootdownModel prices broadcast TLB shootdowns (Section II-C): an
 // initiator-side fixed cost plus a per-responder cost, growing linearly
 // with core count — over 10 us on big machines.

@@ -18,6 +18,7 @@ type ArraySwap struct {
 	elements uint64
 	zipf     sampler
 	rng      *sim.RNG
+	jobTr    Tracer
 }
 
 // NewArraySwap builds the array over a fresh arena.
@@ -46,8 +47,12 @@ func (w *ArraySwap) DatasetPages() uint64 { return w.arena.Pages() }
 func (w *ArraySwap) addrOf(idx uint64) mem.Addr { return w.base + mem.Addr(idx*8) }
 
 // NewJob produces OpsPerJob swaps: read i, read j, write i, write j.
-func (w *ArraySwap) NewJob() Job {
-	tr := NewTracer(w.cfg.ComputePerAccessNs)
+func (w *ArraySwap) NewJob() Job { return Job{Steps: w.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (w *ArraySwap) NewJobSteps(buf []Step) []Step {
+	w.jobTr.Reset(w.cfg.ComputePerAccessNs, buf)
+	tr := &w.jobTr
 	for op := 0; op < w.cfg.OpsPerJob; op++ {
 		i, j := w.zipf.Next(), w.zipf.Next()
 		tr.Touch(w.addrOf(i), false)
@@ -55,5 +60,5 @@ func (w *ArraySwap) NewJob() Job {
 		tr.Touch(w.addrOf(i), true)
 		tr.Touch(w.addrOf(j), true)
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

@@ -105,6 +105,7 @@ type HashTableWorkload struct {
 	keys  uint64
 	zipf  sampler
 	rng   *sim.RNG
+	jobTr Tracer
 }
 
 // NewHashTableWorkload builds a table at ~70% load over the configured
@@ -118,10 +119,10 @@ func NewHashTableWorkload(cfg Config) *HashTableWorkload {
 	for i := uint64(0); i < keys; i++ {
 		ht.Put(scrambleKey(i), i, sink)
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	rng := newRNG(cfg, 0x47a5)
 	return &HashTableWorkload{
 		cfg:   cfg,
@@ -145,8 +146,12 @@ func (w *HashTableWorkload) DatasetPages() uint64 { return w.arena.Pages() }
 func (w *HashTableWorkload) Table() *HashTable { return w.table }
 
 // NewJob performs OpsPerJob lookups with a WriteFraction update mix.
-func (w *HashTableWorkload) NewJob() Job {
-	tr := NewTracer(w.cfg.ComputePerAccessNs)
+func (w *HashTableWorkload) NewJob() Job { return Job{Steps: w.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (w *HashTableWorkload) NewJobSteps(buf []Step) []Step {
+	w.jobTr.Reset(w.cfg.ComputePerAccessNs, buf)
+	tr := &w.jobTr
 	for op := 0; op < w.cfg.OpsPerJob; op++ {
 		key := scrambleKey(w.zipf.Next())
 		if w.rng.Float64() < w.cfg.WriteFraction {
@@ -155,5 +160,5 @@ func (w *HashTableWorkload) NewJob() Job {
 			w.table.Get(key, tr)
 		}
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

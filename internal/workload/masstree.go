@@ -138,6 +138,7 @@ type MasstreeWorkload struct {
 	prefixes uint64
 	zipf     sampler
 	rng      *sim.RNG
+	jobTr    Tracer
 }
 
 // NewMasstreeWorkload builds the trie over the configured dataset. Keys
@@ -164,10 +165,10 @@ func NewMasstreeWorkload(cfg Config) *MasstreeWorkload {
 	for i := uint64(0); i < keys; i++ {
 		mt.Put(mtKeyN(i, prefixes), i, sink)
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	rng := newRNG(cfg, 0x3a55)
 	return &MasstreeWorkload{
 		cfg:      cfg,
@@ -204,8 +205,12 @@ func (w *MasstreeWorkload) DatasetPages() uint64 { return w.arena.Pages() }
 func (w *MasstreeWorkload) Trie() *Masstree { return w.trie }
 
 // NewJob performs OpsPerJob operations.
-func (w *MasstreeWorkload) NewJob() Job {
-	tr := NewTracer(w.cfg.ComputePerAccessNs)
+func (w *MasstreeWorkload) NewJob() Job { return Job{Steps: w.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (w *MasstreeWorkload) NewJobSteps(buf []Step) []Step {
+	w.jobTr.Reset(w.cfg.ComputePerAccessNs, buf)
+	tr := &w.jobTr
 	for op := 0; op < w.cfg.OpsPerJob; op++ {
 		key := mtKeyN(w.zipf.Next(), w.prefixes)
 		if w.rng.Float64() < w.cfg.WriteFraction {
@@ -214,5 +219,5 @@ func (w *MasstreeWorkload) NewJob() Job {
 			w.trie.Get(key, tr)
 		}
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

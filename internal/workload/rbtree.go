@@ -271,6 +271,7 @@ type RBTWorkload struct {
 	zipf    sampler
 	rng     *sim.RNG
 	nextKey uint64
+	jobTr   Tracer
 }
 
 // NewRBT builds a tree filling roughly the configured dataset (64 B per
@@ -288,10 +289,10 @@ func NewRBT(cfg Config) *RBTWorkload {
 		k := scrambleKey(i)
 		tree.Insert(k, i, sink)
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	return &RBTWorkload{
 		cfg:   cfg,
 		tree:  tree,
@@ -323,8 +324,12 @@ func (w *RBTWorkload) Tree() *RBTree { return w.tree }
 
 // NewJob performs OpsPerJob operations: mostly lookups, WriteFraction
 // updates.
-func (w *RBTWorkload) NewJob() Job {
-	tr := NewTracer(w.cfg.ComputePerAccessNs)
+func (w *RBTWorkload) NewJob() Job { return Job{Steps: w.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (w *RBTWorkload) NewJobSteps(buf []Step) []Step {
+	w.jobTr.Reset(w.cfg.ComputePerAccessNs, buf)
+	tr := &w.jobTr
 	for op := 0; op < w.cfg.OpsPerJob; op++ {
 		key := scrambleKey(w.zipf.Next())
 		if w.rng.Float64() < w.cfg.WriteFraction {
@@ -333,5 +338,5 @@ func (w *RBTWorkload) NewJob() Job {
 			w.tree.Lookup(key, tr)
 		}
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

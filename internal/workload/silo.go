@@ -186,6 +186,7 @@ type SiloWorkload struct {
 	keys  uint64
 	zipf  sampler
 	rng   *sim.RNG
+	jobTr Tracer
 }
 
 // NewSilo builds the store: records at 64 B plus the index.
@@ -200,10 +201,10 @@ func NewSilo(cfg Config) *SiloWorkload {
 	for i := uint64(0); i < keys; i++ {
 		db.Load(scrambleKey(i), i, sink)
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	return &SiloWorkload{
 		cfg:   cfg,
 		db:    db,
@@ -227,8 +228,12 @@ func (w *SiloWorkload) DB() *SiloDB { return w.db }
 
 // NewJob runs one OCC transaction: OpsPerJob reads with WriteFraction of
 // them promoted to read-modify-writes, then commit.
-func (w *SiloWorkload) NewJob() Job {
-	tr := NewTracer(w.cfg.ComputePerAccessNs)
+func (w *SiloWorkload) NewJob() Job { return Job{Steps: w.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (w *SiloWorkload) NewJobSteps(buf []Step) []Step {
+	w.jobTr.Reset(w.cfg.ComputePerAccessNs, buf)
+	tr := &w.jobTr
 	txn := w.db.Begin(tr)
 	for op := 0; op < w.cfg.OpsPerJob; op++ {
 		key := scrambleKey(w.zipf.Next())
@@ -241,5 +246,5 @@ func (w *SiloWorkload) NewJob() Job {
 		}
 	}
 	txn.Commit()
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

@@ -21,6 +21,7 @@ type TATP struct {
 	subs        uint64
 	zipf        sampler
 	rng         *sim.RNG
+	jobTr       Tracer
 }
 
 // NewTATP builds the database sized to the configured dataset: roughly
@@ -55,10 +56,10 @@ func NewTATP(cfg Config) *TATP {
 			t.specialFac.Insert(s, rng.Uint64(), sink)
 		}
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	// Subscriber ids key the trees directly, so hot subscribers occupy
 	// contiguous leaves (~50 effective items per hot page across the
 	// three tables).
@@ -82,8 +83,12 @@ func (t *TATP) Subscribers() uint64 { return t.subs }
 //	14% UPDATE_LOCATION, 2% UPDATE_SUBSCRIBER_DATA, 4% forwarding ops
 //	(modeled as special-facility updates; the real insert/delete pair has
 //	the same access shape).
-func (t *TATP) NewJob() Job {
-	tr := NewTracer(t.cfg.ComputePerAccessNs)
+func (t *TATP) NewJob() Job { return Job{Steps: t.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (t *TATP) NewJobSteps(buf []Step) []Step {
+	t.jobTr.Reset(t.cfg.ComputePerAccessNs, buf)
+	tr := &t.jobTr
 	for op := 0; op < t.cfg.OpsPerJob; op++ {
 		s := t.zipf.Next()
 		switch p := t.rng.Float64(); {
@@ -103,5 +108,5 @@ func (t *TATP) NewJob() Job {
 			t.specialFac.Update(s&^1, t.rng.Uint64(), tr)
 		}
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }

@@ -33,6 +33,7 @@ type TPCC struct {
 	custZipf sampler
 	itemZipf sampler
 	rng      *sim.RNG
+	jobTr    Tracer
 }
 
 const (
@@ -84,7 +85,7 @@ func NewTPCC(cfg Config) *TPCC {
 			}
 		}
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
 	for i := uint64(0); i < items; i++ {
@@ -93,10 +94,10 @@ func NewTPCC(cfg Config) *TPCC {
 			t.stock.Insert(t.stockKey(w, i), rng.Uint64(), sink)
 		}
 		if sink.Len() > 1<<16 {
-			sink.Take()
+			sink.Discard()
 		}
 	}
-	sink.Take()
+	sink.Discard()
 	// Customer and item keys are contiguous; stock spreads each hot item
 	// over one leaf range per warehouse.
 	t.custZipf = newSampler(cfg, rng, warehouses*tpccDistrictsPerW*custPerD, hotPageBudget(cfg)*20)
@@ -122,16 +123,20 @@ func (t *TPCC) Items() uint64 { return t.items }
 
 // NewJob runs one transaction: 50% NewOrder, 50% Payment (the paper's
 // pair; the spec's full mix weights NewOrder+Payment at ~88%).
-func (t *TPCC) NewJob() Job {
+func (t *TPCC) NewJob() Job { return Job{Steps: t.NewJobSteps(nil)} }
+
+// NewJobSteps implements StepReuser: NewJob's trace, written into buf.
+func (t *TPCC) NewJobSteps(buf []Step) []Step {
 	// TPC-C rows carry far more computation per access (pricing, tax,
 	// string handling); triple the per-access compute.
-	tr := NewTracer(t.cfg.ComputePerAccessNs * 3)
+	t.jobTr.Reset(t.cfg.ComputePerAccessNs*3, buf)
+	tr := &t.jobTr
 	if t.rng.Float64() < 0.5 {
 		t.newOrder(tr)
 	} else {
 		t.payment(tr)
 	}
-	return Job{Steps: tr.Take()}
+	return tr.Take()
 }
 
 // newOrder is the TPC-C NewOrder transaction.

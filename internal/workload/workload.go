@@ -45,6 +45,16 @@ type Workload interface {
 	DatasetPages() uint64
 }
 
+// StepReuser is an optional Workload extension for hot sweep loops:
+// NewJobSteps writes the next job's trace into buf's backing array
+// (growing it only when a job outsizes every previous one) instead of
+// allocating a fresh slice per job. Implementations must consume exactly
+// the randomness NewJob does, so pooled and unpooled runs are
+// bit-identical.
+type StepReuser interface {
+	NewJobSteps(buf []Step) []Step
+}
+
 // Tracer collects the access trace a data-structure operation produces.
 // Structures call Touch for every node they visit; the per-access compute
 // cost models the instructions executed between references.
@@ -59,6 +69,17 @@ func NewTracer(computeNs int64) *Tracer {
 		panic(fmt.Sprintf("workload: compute per access %d must be positive", computeNs))
 	}
 	return &Tracer{computeNs: computeNs}
+}
+
+// Reset re-arms the tracer to record into buf (truncated to length zero),
+// charging computeNs per access. The trace returned by Take aliases buf's
+// backing array.
+func (t *Tracer) Reset(computeNs int64, buf []Step) {
+	if computeNs <= 0 {
+		panic(fmt.Sprintf("workload: compute per access %d must be positive", computeNs))
+	}
+	t.computeNs = computeNs
+	t.steps = buf[:0]
 }
 
 // Touch records one reference.
@@ -81,6 +102,15 @@ func (t *Tracer) Take() []Step {
 	s := t.steps
 	t.steps = nil
 	return s
+}
+
+// Discard drops the accumulated trace but keeps the backing array for the
+// next recording. Population loops that trace into a throwaway sink must
+// drain with Discard, not Take: Take hands the array away, so each drain
+// cycle regrows the slice from nil — across a multi-GB build that slice
+// churn dominates construction time.
+func (t *Tracer) Discard() {
+	t.steps = t.steps[:0]
 }
 
 // Len returns the number of recorded steps.

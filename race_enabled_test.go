@@ -1,0 +1,9 @@
+//go:build race
+
+package astriflash
+
+// raceEnabled reports that this binary was built with the race detector;
+// heavyweight numeric cross-validations (minutes-long under the ~10x
+// race slowdown, and not exercising any concurrency of their own beyond
+// what lighter tests already cover) skip themselves when it is set.
+const raceEnabled = true

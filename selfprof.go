@@ -26,6 +26,13 @@ type RunProfile struct {
 	Events uint64
 	// SimNs is the simulated time the run covered (warmup + measurement).
 	SimNs int64
+	// Mallocs and AllocBytes are heap allocations during the run itself —
+	// machine construction (arenas, page tables, workload stores) is
+	// excluded, so this is the steady-state allocation cost. The counters
+	// are process-wide: under a parallel sweep one run's delta includes
+	// concurrent workers' allocations (the aggregate view stays exact).
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 // EventsPerSec is the run's simulation speed in events per wall second.
@@ -36,24 +43,53 @@ func (p RunProfile) EventsPerSec() float64 {
 	return float64(p.Events) / (float64(p.WallNs) / 1e9)
 }
 
+// SimNsPerSec is the run's simulation speed in simulated nanoseconds per
+// wall second — the speed metric that stays comparable when flattening
+// changes how many events a given simulated interval costs.
+func (p RunProfile) SimNsPerSec() float64 {
+	if p.WallNs <= 0 {
+		return 0
+	}
+	return float64(p.SimNs) / (float64(p.WallNs) / 1e9)
+}
+
 // Process-wide aggregates, advanced after every Machine run. simRuns lives
 // in astriflash.go (predates this file).
 var (
-	simWallNs atomic.Int64
-	simEvents atomic.Uint64
+	simWallNs     atomic.Int64
+	simEvents     atomic.Uint64
+	simSimNs      atomic.Int64
+	simMallocs    atomic.Uint64
+	simAllocBytes atomic.Uint64
 )
 
-// profiled runs one driver call with self-profiling: wall time and fired
-// events are recorded on the machine and added to the process aggregates.
+// profiled runs one driver call with self-profiling: wall time, fired
+// events, simulated time covered, and in-run heap allocations are recorded
+// on the machine and added to the process aggregates.
 func (m *Machine) profiled(run func() system.Result) Metrics {
 	fired0 := m.sys.Engine().Fired()
+	sim0 := int64(m.sys.Engine().Now())
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	res := run()
 	wall := time.Since(start).Nanoseconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 	ev := m.sys.Engine().Fired() - fired0
-	m.lastProf = RunProfile{WallNs: wall, Events: ev, SimNs: int64(m.sys.Engine().Now())}
+	simNs := int64(m.sys.Engine().Now()) - sim0
+	m.lastProf = RunProfile{
+		WallNs:     wall,
+		Events:     ev,
+		SimNs:      simNs,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+	}
 	simWallNs.Add(wall)
 	simEvents.Add(ev)
+	simSimNs.Add(simNs)
+	simMallocs.Add(m.lastProf.Mallocs)
+	simAllocBytes.Add(m.lastProf.AllocBytes)
 	simRuns.Add(1)
 	return fromResult(res)
 }
@@ -71,6 +107,12 @@ type AggregateProfile struct {
 	WallNs int64
 	// Events is the total engine events fired.
 	Events uint64
+	// SimNs is the total simulated time covered by runs.
+	SimNs int64
+	// Mallocs and AllocBytes are in-run heap allocations (steady state:
+	// machine construction is excluded).
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 // EventsPerSec is the aggregate simulation speed over in-run wall time.
@@ -81,13 +123,24 @@ func (a AggregateProfile) EventsPerSec() float64 {
 	return float64(a.Events) / (float64(a.WallNs) / 1e9)
 }
 
+// SimNsPerSec is the aggregate simulated-ns-per-wall-second speed.
+func (a AggregateProfile) SimNsPerSec() float64 {
+	if a.WallNs <= 0 {
+		return 0
+	}
+	return float64(a.SimNs) / (float64(a.WallNs) / 1e9)
+}
+
 // SelfProfile returns the process-wide aggregates. Safe to read
 // concurrently with running sweeps.
 func SelfProfile() AggregateProfile {
 	return AggregateProfile{
-		Runs:   simRuns.Load(),
-		WallNs: simWallNs.Load(),
-		Events: simEvents.Load(),
+		Runs:       simRuns.Load(),
+		WallNs:     simWallNs.Load(),
+		Events:     simEvents.Load(),
+		SimNs:      simSimNs.Load(),
+		Mallocs:    simMallocs.Load(),
+		AllocBytes: simAllocBytes.Load(),
 	}
 }
 
@@ -110,6 +163,13 @@ type BenchRecord struct {
 	Mallocs uint64 `json:"mallocs"`
 	// AllocBytes is bytes allocated during the experiment, process-wide.
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// SimNsPerSec is simulated nanoseconds advanced per wall second of
+	// in-run time — the speed metric that stays comparable when the event
+	// count per simulated interval changes (e.g. hot-path flattening).
+	SimNsPerSec float64 `json:"sim_ns_per_sec,omitempty"`
+	// RunMallocs is heap allocations inside the runs themselves, machine
+	// construction excluded — the steady-state allocation cost.
+	RunMallocs uint64 `json:"run_mallocs,omitempty"`
 }
 
 // BenchReport is the payload of one BENCH_<date>.json file.
@@ -164,6 +224,17 @@ func benchExperiments(cfg ExpConfig) []struct {
 			_, err := OverloadSweep(cfg, "tatp", []float64{0.5, 1.5})
 			return err
 		}},
+		// Full-scale paper configuration: 16 cores over a 2 GB dataset,
+		// the sizing the paper's figures use. Construction at this scale
+		// is the stressor (half a million flash pages, a ~55M-key B+tree
+		// bulk load), so the record tracks build+run wall end to end.
+		{"full-scale/astriflash/tatp", func() error {
+			c := cfg
+			c.Cores = 16
+			c.DatasetBytes = 2 << 30
+			_, err := c.run(AstriFlash, "tatp")
+			return err
+		}},
 	}
 }
 
@@ -194,9 +265,11 @@ func BenchSuite(cfg ExpConfig, date string) (*BenchReport, error) {
 		runtime.ReadMemStats(&ms1)
 		after := SelfProfile()
 		d := AggregateProfile{
-			Runs:   after.Runs - before.Runs,
-			WallNs: after.WallNs - before.WallNs,
-			Events: after.Events - before.Events,
+			Runs:    after.Runs - before.Runs,
+			WallNs:  after.WallNs - before.WallNs,
+			Events:  after.Events - before.Events,
+			SimNs:   after.SimNs - before.SimNs,
+			Mallocs: after.Mallocs - before.Mallocs,
 		}
 		rep.Records = append(rep.Records, BenchRecord{
 			Name:         exp.name,
@@ -206,6 +279,8 @@ func BenchSuite(cfg ExpConfig, date string) (*BenchReport, error) {
 			EventsPerSec: d.EventsPerSec(),
 			Mallocs:      ms1.Mallocs - ms0.Mallocs,
 			AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+			SimNsPerSec:  d.SimNsPerSec(),
+			RunMallocs:   d.Mallocs,
 		})
 	}
 	return rep, nil

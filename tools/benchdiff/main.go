@@ -1,0 +1,125 @@
+// Command benchdiff compares two BENCH_<date>.json performance-trajectory
+// reports (selfprof.go's schema) and prints per-experiment deltas for wall
+// time, events/sec, and allocations.
+//
+// Usage:
+//
+//	benchdiff [-fail-regression PCT] OLD.json NEW.json
+//
+// With -fail-regression, the exit status is non-zero when any saturated/*
+// experiment's events/sec regressed by more than PCT percent — the CI gate
+// that keeps the simulator's hot path from quietly slowing down. Other
+// experiments are reported but never fail the build: their wall time is
+// dominated by sweep shape, not per-event cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// record mirrors the BenchRecord wire schema (tools must not import the
+// simulator; the JSON file is the contract).
+type record struct {
+	Name         string  `json:"name"`
+	Points       uint64  `json:"points"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Mallocs      uint64  `json:"mallocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	SimNsPerSec  float64 `json:"sim_ns_per_sec"`
+	RunMallocs   uint64  `json:"run_mallocs"`
+}
+
+type report struct {
+	Schema  string   `json:"schema"`
+	Date    string   `json:"date"`
+	Records []record `json:"experiments"`
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "astriflash-bench/") {
+		return nil, fmt.Errorf("%s: unrecognized schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// pct returns the relative change new vs old in percent, signed.
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func main() {
+	failReg := flag.Float64("fail-regression", 0,
+		"exit non-zero if any saturated/* experiment's events/sec regressed by more than this percent (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-regression PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	oldBy := map[string]record{}
+	for _, r := range oldRep.Records {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("bench diff: %s (%s) -> %s (%s)\n",
+		flag.Arg(0), oldRep.Date, flag.Arg(1), newRep.Date)
+	fmt.Printf("%-28s %22s %30s %24s\n", "experiment", "wall ms", "events/sec", "mallocs")
+
+	failed := false
+	seen := map[string]bool{}
+	for _, n := range newRep.Records {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Printf("%-28s %22s %30s %24s  (new experiment)\n", n.Name,
+				fmt.Sprintf("%.0f", n.WallMs),
+				fmt.Sprintf("%.3g", n.EventsPerSec),
+				fmt.Sprintf("%.3g", float64(n.Mallocs)))
+			continue
+		}
+		evDelta := pct(o.EventsPerSec, n.EventsPerSec)
+		fmt.Printf("%-28s %9.0f -> %7.0f %+5.0f%%  %9.3g -> %8.3g %+5.0f%%  %8.3g -> %7.3g %+5.0f%%\n",
+			n.Name,
+			o.WallMs, n.WallMs, pct(o.WallMs, n.WallMs),
+			o.EventsPerSec, n.EventsPerSec, evDelta,
+			float64(o.Mallocs), float64(n.Mallocs), pct(float64(o.Mallocs), float64(n.Mallocs)))
+		if *failReg > 0 && strings.HasPrefix(n.Name, "saturated/") && evDelta < -*failReg {
+			fmt.Printf("  ^ REGRESSION: %s events/sec fell %.0f%% (limit %.0f%%)\n", n.Name, -evDelta, *failReg)
+			failed = true
+		}
+	}
+	for _, o := range oldRep.Records {
+		if !seen[o.Name] {
+			fmt.Printf("%-28s (removed; was %.0f ms, %.3g events/sec)\n", o.Name, o.WallMs, o.EventsPerSec)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
