@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json bench-diff figures trace-smoke timeline-smoke overload-smoke
+.PHONY: build test verify vet race verify-race lint-docs bench bench-engine bench-json bench-diff figures trace-smoke timeline-smoke overload-smoke economics-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ timeline-smoke:
 ## report).
 overload-smoke:
 	$(GO) run ./cmd/astribench -exp overload -cores 4 -dataset 16 -measure 8 -plot -slo-strict | tee overload-report.txt
+
+## Short write-economics sweep: $/op grid over device classes, DRAM:flash
+## ratios, and admission policies, with break-even and Five-Minute-Rule
+## lines (CI uploads the report). The short window understates write
+## amplification; `make figures` runs the full-size grid.
+economics-smoke:
+	$(GO) run ./cmd/astribench -exp economics -cores 4 -dataset 16 -measure 8 | tee economics-report.txt
 
 ## Self-profiling suite: events/sec, allocs, wall time per experiment,
 ## written to the dated BENCH_<date>.json the repo commits as its

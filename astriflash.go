@@ -137,6 +137,22 @@ type Options struct {
 	// flash channel, trading occasional underprediction stalls for
 	// bandwidth (the optimization Section II-A cites).
 	FootprintCache bool
+	// AdmissionPolicy selects the DRAM cache's flash-write admission
+	// filter: "" or "admit-all" (no filtering), "write-threshold" (a page
+	// installs once its region has proven AdmissionThreshold accesses), or
+	// "hit-economics" (Flashield-style: read reuse earns admission, and
+	// the bar adapts to measured eviction economics). Rejected fetches are
+	// served from a small bypass ring instead of displacing residents.
+	AdmissionPolicy string
+	// AdmissionThreshold is the admission bar (0 = default 2): the region
+	// access count a page must prove before it may install.
+	AdmissionThreshold int
+	// ObjectBytes sizes the tinykv workload's objects (0 = 128 B). Other
+	// workloads ignore it.
+	ObjectBytes uint64
+	// FlashProgramNs overrides the flash cell-program latency when
+	// nonzero (device classes differ in program as well as read latency).
+	FlashProgramNs int64
 
 	// RBER is the raw bit error rate injected into every flash cell read
 	// (0 disables fault injection entirely; the device then never touches
@@ -214,6 +230,21 @@ func (o Options) build() (system.Config, error) {
 	}
 	if o.FlashReadNs > 0 {
 		cfg.Flash.ReadLatency = o.FlashReadNs
+	}
+	if o.FlashProgramNs > 0 {
+		cfg.Flash.ProgramLatency = o.FlashProgramNs
+	}
+	if o.ObjectBytes > 0 {
+		cfg.Workload.ObjectBytes = o.ObjectBytes
+	}
+	switch o.AdmissionPolicy {
+	case "", "admit-all", "write-threshold", "hit-economics":
+		cfg.Admission = dramcache.AdmissionConfig{
+			Policy:    o.AdmissionPolicy,
+			Threshold: o.AdmissionThreshold,
+		}
+	default:
+		return system.Config{}, fmt.Errorf("astriflash: unknown admission policy %q", o.AdmissionPolicy)
 	}
 	if o.FlashChannels > 0 {
 		cfg.Flash.Channels = o.FlashChannels
@@ -302,6 +333,15 @@ type Metrics struct {
 	BCFallbacks         uint64
 	WriteAmplification  float64
 
+	// Admission-filter observables; all zero under admit-all.
+	AdmissionBypassed uint64 // fetches diverted to the bypass ring
+	BypassHits        uint64 // accesses served from the bypass ring
+	BypassWritebacks  uint64 // dirty ring evictions written to flash
+	// FlashPrograms is total page programs in the window (host writes +
+	// GC moves + remap copies) — the wear quantity the economics model
+	// prices.
+	FlashPrograms uint64
+
 	// Open-loop admission and deadline observables (RunOverload runs; all
 	// zero for closed-loop and plain Poisson runs).
 	Offered        uint64 // arrivals the source generated in the window
@@ -355,6 +395,10 @@ func fromResult(r system.Result) Metrics {
 		BCTimeouts:          r.BCTimeouts,
 		BCFallbacks:         r.BCFallbacks,
 		WriteAmplification:  r.WriteAmplification,
+		AdmissionBypassed:   r.AdmissionBypassed,
+		BypassHits:          r.BypassHits,
+		BypassWritebacks:    r.BypassWritebacks,
+		FlashPrograms:       r.FlashPrograms,
 
 		Offered:        r.Offered,
 		Admitted:       r.Admitted,

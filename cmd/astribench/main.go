@@ -7,8 +7,8 @@
 //	astribench -exp fig9,table2 -cores 16 -dataset 64
 //
 // Experiments: table1, fig1, fig2, fig3, fig9, fig10, table2, gc, anatomy,
-// faults, overload. Each prints the same rows/series the paper reports;
-// EXPERIMENTS.md records paper-vs-measured values.
+// faults, overload, economics. Each prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
 //
 // Special modes replace -exp: -trace writes a fig-10-style span trace,
 // -timeline writes a fig-10-style per-window timeline CSV with SLO
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy,faults,overload)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments (table1,fig1,fig2,fig3,fig9,fig10,table2,gc,anatomy,faults,overload,economics)")
 		cores     = flag.Int("cores", 8, "simulated cores")
 		datasetMB = flag.Uint64("dataset", 32, "dataset size in MB")
 		measureMs = flag.Int64("measure", 20, "measurement window in simulated ms")
@@ -185,6 +185,13 @@ func main() {
 				return "", fmt.Errorf("adaptive controller failed to hold p99 within its SLO threshold (-slo-strict)")
 			}
 			return out, nil
+		}},
+		{"economics", func() (string, error) {
+			rep, err := astriflash.EconomicsSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			return astriflash.RenderEconomics(rep), nil
 		}},
 	}
 

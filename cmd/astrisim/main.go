@@ -7,8 +7,10 @@
 //
 // Modes: dram-only, astriflash, astriflash-ideal, astriflash-nops,
 // astriflash-nodp, os-swap, flash-sync. Workloads: arrayswap, rbt,
-// hashtable, tatp, tpcc, silo, masstree. Open-loop mode (-rate) switches
-// from saturated closed-loop measurement to Poisson arrivals.
+// hashtable, tatp, tpcc, silo, masstree, plus tinykv (tiny-object KV,
+// used by the economics experiment; tune with -objbytes). Open-loop mode
+// (-rate) switches from saturated closed-loop measurement to Poisson
+// arrivals.
 package main
 
 import (
@@ -49,6 +51,9 @@ func main() {
 		surge     = flag.Float64("surge", 3, "flashcrowd: rate multiplier during the surge window")
 		admit     = flag.String("admit", "none", "with -rate, the admission controller: none, static, codel")
 		admitCap  = flag.Int("admit-limit", 0, "static: in-system concurrency cap (0 = 8x cores)")
+		admPolicy = flag.String("admission", "", "DRAM-cache flash-write admission policy: admit-all, write-threshold, hit-economics (empty = admit-all)")
+		admBar    = flag.Int("admission-threshold", 0, "write-threshold: region access count required for admission (0 = default)")
+		objBytes  = flag.Uint64("objbytes", 0, "tinykv object size in bytes (0 = workload default)")
 		deadline  = flag.Int64("deadline", 0, "per-request deadline in us (0 = none); completions past it count as deadline misses")
 		dropExp   = flag.Bool("drop-expired", false, "drop requests whose deadline passed before their first dispatch")
 		queueCap  = flag.Int("queue-limit", 0, "bound on admitted-but-unfinished requests; arrivals beyond it are dropped (0 = unbounded)")
@@ -90,6 +95,9 @@ func main() {
 	opts.Cores = *cores
 	opts.DatasetBytes = *datasetMB << 20
 	opts.CacheFraction = *cacheFrac
+	opts.AdmissionPolicy = *admPolicy
+	opts.AdmissionThreshold = *admBar
+	opts.ObjectBytes = *objBytes
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
@@ -162,6 +170,10 @@ func main() {
 		res.DRAMCacheMissRatio*100, float64(res.MeanMissIntervalNs)/1000)
 	fmt.Printf("flash             %d reads, %d writes, %d GC runs (%.2f%% reads blocked)\n",
 		res.FlashReads, res.FlashWrites, res.GCRuns, res.GCBlockedFraction*100)
+	if *admPolicy != "" && *admPolicy != "admit-all" {
+		fmt.Printf("admission filter  %d fetches bypassed, %d ring hits, %d dirty ring writebacks\n",
+			res.AdmissionBypassed, res.BypassHits, res.BypassWritebacks)
+	}
 	if res.ForcedSyncCount > 0 {
 		fmt.Printf("forced sync       %d forward-progress completions\n", res.ForcedSyncCount)
 	}

@@ -64,6 +64,11 @@ type Config struct {
 	// timeout or an uncorrectable completion before falling back to the
 	// FTL's recovered copy, which cannot fail.
 	FlashReadRetries int
+
+	// Admission selects the flash-write admission policy (admission.go).
+	// The zero value is admit-all: no filtering, and a cache whose event
+	// stream is bit-identical to the pre-admission code.
+	Admission AdmissionConfig
 }
 
 // DefaultConfig returns a scaled cache; capacity is set by the system
@@ -92,8 +97,9 @@ func DefaultConfig(pages uint64) Config {
 
 // msrWaiter is one miss stalled on a full MSR set.
 type msrWaiter struct {
-	page mem.PageNum
-	at   sim.Time
+	page  mem.PageNum
+	write bool
+	at    sim.Time
 }
 
 type line struct {
@@ -156,11 +162,29 @@ type Cache struct {
 	// system can invalidate on-chip copies (coherence with the LLCs).
 	OnEvict func(p mem.PageNum)
 
+	// adm is the admission policy; nil means admit-all, and every
+	// admission branch below is guarded on it so nil runs are
+	// bit-identical to the pre-admission cache.
+	adm AdmissionPolicy
+	// ring stages rejected fetches (nil when adm is nil).
+	ring *bypassRing
+	// ringStamp orders ring entries for LRU eviction.
+	ringStamp uint64
+	// bypassFetch marks in-flight fetches the policy rejected; install
+	// routes them into the ring instead of the cache proper.
+	bypassFetch map[mem.PageNum]bool
+
 	Accesses   stats.Ratio
 	Evictions  stats.Counter
 	DirtyWB    stats.Counter
 	Installs   stats.Counter
 	MergedMiss stats.Counter
+	// Admission counter family: fetches the policy diverted to the bypass
+	// ring, accesses served from the ring, and dirty ring evictions
+	// written back to flash.
+	AdmBypassed   stats.Counter
+	BypassHits    stats.Counter
+	BypassDirtyWB stats.Counter
 	// Fault-path counter family: reads BC re-issued (after a timeout or an
 	// uncorrectable), watchdog firings, uncorrectable completions observed,
 	// and exhausted-retry fallbacks served from the FTL's recovered copy.
@@ -196,8 +220,20 @@ func New(eng *sim.Engine, cfg Config, dev *dram.Device, fl *flash.Device) *Cache
 		RefillLat: stats.NewHistogram(),
 	}
 	c.lines = make([]line, nsets*cfg.Ways)
+	adm, err := NewAdmissionPolicy(cfg.Admission)
+	if err != nil {
+		panic(err.Error())
+	}
+	if adm != nil {
+		c.adm = adm
+		c.ring = newBypassRing(cfg.Admission.BypassPages)
+		c.bypassFetch = make(map[mem.PageNum]bool)
+	}
 	return c
 }
+
+// Admission returns the active admission policy (nil for admit-all).
+func (c *Cache) Admission() AdmissionPolicy { return c.adm }
 
 // set returns the ways of set i as a subslice of the flat line store.
 func (c *Cache) set(i int) []line {
@@ -300,8 +336,34 @@ func (c *Cache) AccessSync(a mem.Access) Result {
 			at := dataDone + c.cfg.FCOpNs
 			c.Accesses.Hit()
 			c.HitLat.Record(at - now)
+			if c.adm != nil {
+				c.adm.OnAccess(p, a.Write, true)
+			}
 			return Result{Hit: true, At: at}
 		}
+	}
+
+	if c.adm != nil {
+		if i := c.ring.lookup(p); i >= 0 {
+			// The page is staged in BC's bypass ring: FC's tag probe
+			// missed, but BC serves the block with one more CAS against
+			// its staging row — a hit, slightly slower than a set hit.
+			e := &c.ring.entries[i]
+			c.ringStamp++
+			e.stamp = c.ringStamp
+			e.hits++
+			if a.Write {
+				e.dirty = true
+			}
+			dataDone := c.dram.Access(tagDone, c.msrRow, 1)
+			at := dataDone + c.cfg.BCOpNs
+			c.Accesses.Hit()
+			c.BypassHits.Inc()
+			c.HitLat.Record(at - now)
+			c.adm.OnAccess(p, a.Write, true)
+			return Result{Hit: true, At: at}
+		}
+		c.adm.OnAccess(p, a.Write, false)
 	}
 
 	// Miss: notify BC, then send the miss reply to the requester
@@ -357,6 +419,12 @@ func (c *Cache) Touch(p mem.PageNum) {
 			return
 		}
 	}
+	if c.adm != nil {
+		if i := c.ring.lookup(p); i >= 0 {
+			c.ringStamp++
+			c.ring.entries[i].stamp = c.ringStamp
+		}
+	}
 }
 
 // MarkDirty marks page p dirty if resident (LLC writeback absorption);
@@ -367,6 +435,12 @@ func (c *Cache) MarkDirty(p mem.PageNum) bool {
 	for w := range s {
 		if s[w].valid && s[w].page == p {
 			s[w].dirty = true
+			return true
+		}
+	}
+	if c.adm != nil {
+		if i := c.ring.lookup(p); i >= 0 {
+			c.ring.entries[i].dirty = true
 			return true
 		}
 	}
@@ -399,7 +473,13 @@ func (c *Cache) AccessAlwaysHit(a mem.Access, done func(Result)) {
 // If the page is fully ready the callback fires on the next event
 // boundary.
 func (c *Cache) OnPageReady(p mem.PageNum, cb func(at sim.Time)) {
-	if c.Contains(p) && !c.fpPending[p] {
+	ready := c.Contains(p)
+	if !ready && c.adm != nil {
+		// A page staged in the bypass ring serves accesses (a retry will
+		// hit), so it is ready even though the cache proper misses it.
+		ready = c.ring.lookup(p) >= 0
+	}
+	if ready && !c.fpPending[p] {
 		at := c.eng.Now()
 		c.eng.At(at, func() { cb(at) })
 		return
@@ -450,21 +530,29 @@ func (c *Cache) handleMiss(p mem.PageNum, write bool, at sim.Time) {
 	case AllocFull:
 		// No free entry: BC waits for pending requests to drain and
 		// retries; the miss is queued in arrival order.
-		c.msrWait = append(c.msrWait, msrWaiter{page: p, at: probeDone})
+		c.msrWait = append(c.msrWait, msrWaiter{page: p, write: write, at: probeDone})
 		return
 	case AllocNew:
 	}
-	c.launchFetch(p, probeDone)
+	c.launchFetch(p, write, probeDone)
 }
 
-// launchFetch issues the flash read and prepares the victim.
-func (c *Cache) launchFetch(p mem.PageNum, at sim.Time) {
+// launchFetch issues the flash read and prepares the victim. When the
+// admission policy rejects the page, no victim is prepared — the fetch is
+// flagged to land in the bypass ring, so the reject costs residents
+// nothing.
+func (c *Cache) launchFetch(p mem.PageNum, write bool, at sim.Time) {
 	start := at
 	reqTime := c.eng.Now()
 	c.eng.At(start, func() {
-		// Victim selection and copy to the evict buffer proceed during
-		// the flash access (off the critical path, Section IV-B2).
-		c.prepareVictim(p)
+		if c.adm != nil && !c.adm.Admit(p, write) {
+			c.bypassFetch[p] = true
+			c.AdmBypassed.Inc()
+		} else {
+			// Victim selection and copy to the evict buffer proceed during
+			// the flash access (off the critical path, Section IV-B2).
+			c.prepareVictim(p)
+		}
 		c.fetchFromFlash(p, reqTime, 0)
 	})
 }
@@ -544,6 +632,11 @@ func (c *Cache) prepareVictim(p mem.PageNum) {
 	if c.fp != nil {
 		c.fp.fpOnEvict(victim.page)
 	}
+	if c.adm != nil {
+		// A victim whose last touch is its install stamp was never reused:
+		// its install bought nothing, and the policy should learn that.
+		c.adm.OnEvict(victim.page, victim.lru != victim.installed)
+	}
 	// Read the victim page out of the DRAM row into the evict buffer.
 	row := c.dram.RowOf(c.setOf(p))
 	c.dram.Access(c.eng.Now(), row, dram.BlocksPerPage)
@@ -594,6 +687,11 @@ func (c *Cache) pickVictim(s []line, honorPins bool) int {
 // install writes the arrived page into its set, completes the MSR entry,
 // wakes waiters, and admits any miss that was stalled on a full MSR set.
 func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
+	if c.adm != nil && c.bypassFetch[p] {
+		delete(c.bypassFetch, p)
+		c.installBypass(p, at, reqTime)
+		return
+	}
 	setIdx := c.setOf(p)
 	row := c.dram.RowOf(setIdx)
 	// Page write into the row: RAS + block bursts, plus tag update. With
@@ -652,6 +750,47 @@ func (c *Cache) install(p mem.PageNum, at sim.Time, reqTime sim.Time) {
 	c.drainMSRWait(wrDone)
 }
 
+// installBypass lands a rejected fetch in the bypass ring: one page write
+// into BC's staging row, no resident victim, no Installs count. Ring
+// overflow evicts the ring's LRU unpinned entry, writing it back to flash
+// if it was dirtied while staged; when every entry is pinned the ring
+// grows past capacity (forward progress over footprint on a scaled
+// cache).
+func (c *Cache) installBypass(p mem.PageNum, at sim.Time, reqTime sim.Time) {
+	delete(c.fpFirst, p)
+	wrDone := c.dram.Access(at, c.msrRow, dram.BlocksPerPage+1) + c.cfg.BCOpNs
+
+	if c.ring.lookup(p) < 0 {
+		if len(c.ring.entries) >= c.ring.cap {
+			if v := c.ring.victim(c.pinned); v >= 0 {
+				e := c.ring.removeAt(v)
+				c.adm.OnEvict(e.page, e.hits > 0)
+				if e.dirty {
+					c.BypassDirtyWB.Inc()
+					c.flash.Write(e.page, func(sim.Time) {})
+				}
+			}
+		}
+		c.ringStamp++
+		c.ring.entries = append(c.ring.entries, ringEntry{page: p, stamp: c.ringStamp})
+		c.ring.idx[p] = len(c.ring.entries) - 1
+	}
+
+	c.msr.Complete(p)
+	c.RefillLat.Record(wrDone - reqTime)
+	c.fetchSpan(p, obs.StageFill, at, wrDone)
+	c.endFetch(p)
+
+	cbs := c.waiters[p]
+	delete(c.waiters, p)
+	c.eng.At(wrDone, func() {
+		for _, cb := range cbs {
+			cb(wrDone)
+		}
+	})
+	c.drainMSRWait(wrDone)
+}
+
 // drainMSRWait retries queued misses that previously found their MSR set
 // full. Entries whose set is still full stay queued.
 func (c *Cache) drainMSRWait(at sim.Time) {
@@ -660,7 +799,7 @@ func (c *Cache) drainMSRWait(at sim.Time) {
 		switch c.msr.Allocate(w.page) {
 		case AllocNew:
 			c.fetchSpan(w.page, obs.StageMSRWait, w.at, at)
-			c.launchFetch(w.page, at)
+			c.launchFetch(w.page, w.write, at)
 		case AllocDup:
 			c.fetchSpan(w.page, obs.StageMSRWait, w.at, at)
 			c.MergedMiss.Inc()
@@ -696,6 +835,16 @@ func (c *Cache) CheckInvariants() string {
 	for p := range c.waiters {
 		if seen[p] && !c.msr.Lookup(p) {
 			return fmt.Sprintf("waiters registered for resident page %d", p)
+		}
+	}
+	if c.adm != nil {
+		for p, i := range c.ring.idx {
+			if seen[p] {
+				return fmt.Sprintf("page %d in both cache and bypass ring", p)
+			}
+			if i >= len(c.ring.entries) || c.ring.entries[i].page != p {
+				return fmt.Sprintf("bypass ring index inconsistent for page %d", p)
+			}
 		}
 	}
 	return ""

@@ -25,6 +25,14 @@ func (c *Cache) RegisterMetrics(r *obs.Registry) {
 	r.Counter("dramcache.bc_timeouts", &c.FlashTimeouts)
 	r.Counter("dramcache.bc_uncorrectable", &c.FlashUncorrectable)
 	r.Counter("dramcache.bc_fallbacks", &c.FlashFallbacks)
+	// The admission-filter counters exist only when a policy is
+	// configured: a nil-policy machine's registry (and so its timeline
+	// CSV schema) is bit-identical to the pre-admission code.
+	if c.adm != nil {
+		r.Counter("dramcache.adm_bypassed", &c.AdmBypassed)
+		r.Counter("dramcache.bypass_hits", &c.BypassHits)
+		r.Counter("dramcache.bypass_dirty_writebacks", &c.BypassDirtyWB)
+	}
 	r.Gauge("dramcache.pinned_pages", func() float64 { return float64(len(c.pinned)) })
 	r.Gauge("dramcache.pending_misses", func() float64 { return float64(c.PendingMisses()) })
 	r.Histogram("dramcache.hit_latency_ns", c.HitLat)

@@ -1,0 +1,235 @@
+// Package econ prices simulation results: a Five-Minute-Rule-style cost
+// model (Gray & Putzolu, extended with flash endurance) that converts a
+// sweep point's measured counters — throughput, flash writes, write
+// amplification — into dollars per operation and break-even DRAM:flash
+// ratios. The paper's central economic claim is that flash-backed serving
+// is ~20x cheaper per GB than DRAM-only; this package computes where that
+// claim holds, erodes, and flips once wear (endurance consumed by
+// write-amplified programs) is charged against the savings.
+//
+// All pricing is done at the paper's capacity scale: the simulator runs a
+// scaled-down dataset, but per-operation quantities (ops/s per machine,
+// flash writes per op, write amplification) are scale-invariant by the
+// reproduction's design, so capacities are re-inflated to the modeled
+// deployment before multiplying by $/GB.
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviceClass describes one flash device family: its price, endurance,
+// and the cell latencies a simulated device of this class should use.
+type DeviceClass struct {
+	// Name identifies the class in tables ("enterprise-tlc", "value-qlc").
+	Name string
+	// DollarsPerGB is the street price of flash capacity.
+	DollarsPerGB float64
+	// PECycles is the rated program/erase endurance per cell.
+	PECycles float64
+	// ReadLatencyNs and ProgramLatencyNs are the cell latencies a
+	// simulated device of this class uses, so the sweep's performance and
+	// its pricing come from the same device.
+	ReadLatencyNs    int64
+	ProgramLatencyNs int64
+}
+
+// EnterpriseTLC is a datacenter TLC class: the latencies match the
+// simulator's default device, priced at enterprise TLC street cost with
+// 3K P/E endurance.
+func EnterpriseTLC() DeviceClass {
+	return DeviceClass{
+		Name:             "enterprise-tlc",
+		DollarsPerGB:     0.12,
+		PECycles:         3000,
+		ReadLatencyNs:    45_000,
+		ProgramLatencyNs: 200_000,
+	}
+}
+
+// ValueQLC is a capacity-optimized QLC class: roughly half the $/GB of
+// enterprise TLC, a third of the endurance, and slower cells.
+func ValueQLC() DeviceClass {
+	return DeviceClass{
+		Name:             "value-qlc",
+		DollarsPerGB:     0.055,
+		PECycles:         1000,
+		ReadLatencyNs:    85_000,
+		ProgramLatencyNs: 600_000,
+	}
+}
+
+// Classes returns the device classes the economics sweep prices, in
+// presentation order.
+func Classes() []DeviceClass { return []DeviceClass{EnterpriseTLC(), ValueQLC()} }
+
+// Model holds the deployment-wide pricing constants.
+type Model struct {
+	// DRAMDollarsPerGB is the street price of server DRAM. The default
+	// 2.40 against enterprise TLC's 0.12 gives the paper's ~20x gap.
+	DRAMDollarsPerGB float64
+	// AmortYears is the capex amortization period.
+	AmortYears float64
+	// PageBytes is the flash program granularity (4 KB pages).
+	PageBytes uint64
+	// DatasetBytes is the deployment-scale dataset the scaled simulation
+	// stands in for (the paper: 256 GB per machine).
+	DatasetBytes uint64
+}
+
+// DefaultModel returns the paper-scale pricing model: 256 GB dataset,
+// 5-year amortization, 20x DRAM:flash price gap against enterprise TLC.
+func DefaultModel() Model {
+	return Model{
+		DRAMDollarsPerGB: 2.40,
+		AmortYears:       5,
+		PageBytes:        4096,
+		DatasetBytes:     256 << 30,
+	}
+}
+
+const (
+	secondsPerYear = 365 * 24 * 3600
+	bytesPerGB     = float64(1 << 30)
+)
+
+// amortSeconds is the capex amortization window in seconds.
+func (m Model) amortSeconds() float64 { return m.AmortYears * secondsPerYear }
+
+// datasetGB is the deployment-scale dataset in GB.
+func (m Model) datasetGB() float64 { return float64(m.DatasetBytes) / bytesPerGB }
+
+// PointCost is the priced breakdown of one measured sweep point.
+// All dollar figures are per operation.
+type PointCost struct {
+	// DRAMCapex amortizes the DRAM cache (CacheFraction x dataset).
+	DRAMCapex float64
+	// FlashCapex amortizes the flash device holding the dataset.
+	FlashCapex float64
+	// Wear charges endurance consumed by write-amplified programs:
+	// each program retires 1/PECycles of one page's lifetime capex.
+	Wear float64
+	// Total is the flash-backed system's $/op.
+	Total float64
+	// DRAMOnly is the all-DRAM baseline's $/op at its own throughput.
+	DRAMOnly float64
+	// Advantage is DRAMOnly/Total: >1 means flash-backed serving is
+	// cheaper per op; <1 means the memory-cost claim has flipped.
+	Advantage float64
+}
+
+// CostPerOp prices one measured point. cacheFraction is the DRAM:flash
+// capacity ratio; opsPerSec and dramOnlyOpsPerSec are the measured
+// throughputs of the flash-backed point and the all-DRAM baseline;
+// programsPerOp is flash page programs (host writes x write
+// amplification) per completed operation.
+func (m Model) CostPerOp(class DeviceClass, cacheFraction, opsPerSec, dramOnlyOpsPerSec, programsPerOp float64) PointCost {
+	if opsPerSec <= 0 || dramOnlyOpsPerSec <= 0 {
+		return PointCost{}
+	}
+	amort := m.amortSeconds()
+	dramRate := m.datasetGB() * cacheFraction * m.DRAMDollarsPerGB / amort
+	flashRate := m.datasetGB() * class.DollarsPerGB / amort
+	pagePrice := float64(m.PageBytes) / bytesPerGB * class.DollarsPerGB
+	p := PointCost{
+		DRAMCapex:  dramRate / opsPerSec,
+		FlashCapex: flashRate / opsPerSec,
+		Wear:       programsPerOp * pagePrice / class.PECycles,
+		DRAMOnly:   m.datasetGB() * m.DRAMDollarsPerGB / amort / dramOnlyOpsPerSec,
+	}
+	p.Total = p.DRAMCapex + p.FlashCapex + p.Wear
+	if p.Total > 0 {
+		p.Advantage = p.DRAMOnly / p.Total
+	}
+	return p
+}
+
+// HoldsCeiling returns the highest programs-per-op rate at which the
+// flash-backed system keeps a cost advantage of at least factor over the
+// all-DRAM baseline, assuming it matches the baseline's throughput
+// (opsPerSec). The second return is false when even a read-only system
+// cannot reach the factor — the capex floor alone is too high. This is
+// the write-rate budget behind the verdict column: above the ceiling,
+// wear spends the capex savings.
+func (m Model) HoldsCeiling(class DeviceClass, cacheFraction, opsPerSec, factor float64) (float64, bool) {
+	if opsPerSec <= 0 || factor <= 0 {
+		return 0, false
+	}
+	amort := m.amortSeconds()
+	dramOnly := m.datasetGB() * m.DRAMDollarsPerGB / amort / opsPerSec
+	capex := m.datasetGB() * (cacheFraction*m.DRAMDollarsPerGB + class.DollarsPerGB) / amort / opsPerSec
+	wearBudget := dramOnly/factor - capex
+	if wearBudget <= 0 {
+		return 0, false
+	}
+	pagePrice := float64(m.PageBytes) / bytesPerGB * class.DollarsPerGB
+	return wearBudget / (pagePrice / class.PECycles), true
+}
+
+// FiveMinuteBreakEven computes the classic Five-Minute-Rule break-even
+// reuse interval in seconds: cache a page in DRAM when it is re-read more
+// often than once per this interval. It is
+//
+//	(drive price / drive IOPS) / (price of one page of DRAM)
+//
+// — the cost of serving a page access from the device equals the rent on
+// keeping the page in DRAM at exactly this reuse spacing.
+func (m Model) FiveMinuteBreakEven(class DeviceClass, driveGB, driveIOPS float64) float64 {
+	if driveIOPS <= 0 {
+		return math.Inf(1)
+	}
+	accessCost := driveGB * class.DollarsPerGB / driveIOPS
+	pageDRAM := float64(m.PageBytes) / bytesPerGB * m.DRAMDollarsPerGB
+	return accessCost / pageDRAM
+}
+
+// RatioPoint is one measured (cache fraction, cost advantage) pair, the
+// input to break-even interpolation.
+type RatioPoint struct {
+	CacheFraction float64
+	Advantage     float64
+}
+
+// BreakEvenFraction locates the DRAM:flash ratio where the cost advantage
+// crosses 1 by linear interpolation between adjacent measured points
+// (which must be sorted by CacheFraction). The second return is false
+// when the advantage never crosses 1 inside the measured range.
+func BreakEvenFraction(points []RatioPoint) (float64, bool) {
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		if (a.Advantage-1)*(b.Advantage-1) <= 0 && a.Advantage != b.Advantage {
+			t := (1 - a.Advantage) / (b.Advantage - a.Advantage)
+			return a.CacheFraction + t*(b.CacheFraction-a.CacheFraction), true
+		}
+	}
+	return 0, false
+}
+
+// Verdict classifies a point's cost advantage against the paper's ~20x
+// memory-cost claim: "holds" at 10x or better, "erodes" between 1x and
+// 10x, "flips" below 1x.
+func Verdict(advantage float64) string {
+	switch {
+	case advantage >= 10:
+		return "holds"
+	case advantage >= 1:
+		return "erodes"
+	default:
+		return "flips"
+	}
+}
+
+// FormatDollars renders a per-op dollar figure with an SI prefix suited
+// to its magnitude (operations cost micro-to-nano dollars).
+func FormatDollars(d float64) string {
+	ad := math.Abs(d)
+	switch {
+	case ad >= 1e-3:
+		return fmt.Sprintf("%.3f m$", d*1e3)
+	case ad >= 1e-6:
+		return fmt.Sprintf("%.3f u$", d*1e6)
+	default:
+		return fmt.Sprintf("%.3f n$", d*1e9)
+	}
+}

@@ -1,0 +1,151 @@
+package econ
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, tol float64) bool {
+	if b == 0 {
+		return math.Abs(a) < tol
+	}
+	return math.Abs(a-b)/math.Abs(b) < tol
+}
+
+// TestFiveMinuteRuleHandComputed cross-checks the break-even interval
+// against a fully hand-computed Five-Minute-Rule point.
+func TestFiveMinuteRuleHandComputed(t *testing.T) {
+	m := Model{DRAMDollarsPerGB: 2.40, AmortYears: 5, PageBytes: 4096, DatasetBytes: 256 << 30}
+	class := DeviceClass{Name: "hand", DollarsPerGB: 0.12, PECycles: 3000}
+
+	// A 1000 GB drive at $0.12/GB costs $120. At 100K IOPS, one
+	// access/second of sustained capability costs 120/1e5 = $1.2e-3.
+	// One 4 KB page of DRAM costs (4096/2^30)*2.40 = $9.15527e-6.
+	// Break-even interval = 1.2e-3 / 9.15527e-6 = 131.072 s.
+	got := m.FiveMinuteBreakEven(class, 1000, 100_000)
+	want := (1000.0 * 0.12 / 100_000) / (4096.0 / (1 << 30) * 2.40)
+	if !close(got, want, 1e-12) {
+		t.Fatalf("break-even interval = %v, want %v", got, want)
+	}
+	if !close(got, 131.072, 1e-9) {
+		t.Fatalf("break-even interval = %v, hand computation says 131.072", got)
+	}
+	if !math.IsInf(m.FiveMinuteBreakEven(class, 1000, 0), 1) {
+		t.Fatalf("zero IOPS should price an infinite break-even interval")
+	}
+}
+
+// TestCostPerOpHandComputed verifies each component of the $/op breakdown
+// against hand-expanded arithmetic.
+func TestCostPerOpHandComputed(t *testing.T) {
+	m := Model{DRAMDollarsPerGB: 2.40, AmortYears: 5, PageBytes: 4096, DatasetBytes: 256 << 30}
+	class := DeviceClass{Name: "hand", DollarsPerGB: 0.12, PECycles: 3000}
+	amort := 5.0 * 365 * 24 * 3600
+
+	// 3% of 256 GB in DRAM, 1e6 ops/s, DRAM-only at 1.25e6 ops/s,
+	// 0.01 programs per op.
+	p := m.CostPerOp(class, 0.03, 1e6, 1.25e6, 0.01)
+
+	wantDRAM := 256.0 * 0.03 * 2.40 / amort / 1e6
+	wantFlash := 256.0 * 0.12 / amort / 1e6
+	wantWear := 0.01 * (4096.0 / (1 << 30) * 0.12) / 3000
+	wantBase := 256.0 * 2.40 / amort / 1.25e6
+	if !close(p.DRAMCapex, wantDRAM, 1e-12) {
+		t.Fatalf("DRAM capex/op = %v, want %v", p.DRAMCapex, wantDRAM)
+	}
+	if !close(p.FlashCapex, wantFlash, 1e-12) {
+		t.Fatalf("flash capex/op = %v, want %v", p.FlashCapex, wantFlash)
+	}
+	if !close(p.Wear, wantWear, 1e-12) {
+		t.Fatalf("wear/op = %v, want %v", p.Wear, wantWear)
+	}
+	if !close(p.DRAMOnly, wantBase, 1e-12) {
+		t.Fatalf("DRAM-only/op = %v, want %v", p.DRAMOnly, wantBase)
+	}
+	if !close(p.Total, wantDRAM+wantFlash+wantWear, 1e-12) {
+		t.Fatalf("total = %v, want sum of parts %v", p.Total, wantDRAM+wantFlash+wantWear)
+	}
+	if !close(p.Advantage, wantBase/(wantDRAM+wantFlash+wantWear), 1e-12) {
+		t.Fatalf("advantage = %v inconsistent with components", p.Advantage)
+	}
+	// With equal throughputs and no wear, the advantage reduces to the
+	// capacity price ratio: dataset*2.40 vs dataset*(0.03*2.40 + 0.12).
+	q := m.CostPerOp(class, 0.03, 1e6, 1e6, 0)
+	wantAdv := 2.40 / (0.03*2.40 + 0.12)
+	if !close(q.Advantage, wantAdv, 1e-12) {
+		t.Fatalf("no-wear advantage = %v, want price ratio %v", q.Advantage, wantAdv)
+	}
+}
+
+// TestWearDominatesUnderHeavyWrites checks the model's central monotone
+// property: more write-amplified programs per op can only erode the
+// advantage, and enough of them flip it.
+func TestWearDominatesUnderHeavyWrites(t *testing.T) {
+	m := DefaultModel()
+	class := EnterpriseTLC()
+	prev := math.Inf(1)
+	for _, programs := range []float64{0, 0.01, 0.1, 1, 10, 100} {
+		p := m.CostPerOp(class, 0.03, 1e6, 1e6, programs)
+		if p.Advantage > prev {
+			t.Fatalf("advantage rose from %v to %v as programs/op grew to %v", prev, p.Advantage, programs)
+		}
+		prev = p.Advantage
+	}
+	if prev >= 1 {
+		t.Fatalf("100 programs/op should flip the advantage below 1, got %v", prev)
+	}
+}
+
+// TestHoldsCeilingRoundTrips feeds the ceiling back through CostPerOp:
+// at exactly the ceiling the advantage equals the requested factor, and
+// above it the advantage falls below.
+func TestHoldsCeilingRoundTrips(t *testing.T) {
+	m := DefaultModel()
+	class := EnterpriseTLC()
+	for _, factor := range []float64{1, 5, 10} {
+		ceiling, ok := m.HoldsCeiling(class, 0.03, 1e6, factor)
+		if !ok {
+			t.Fatalf("factor %v should be reachable at 3%% DRAM (capacity ratio ~11.6x)", factor)
+		}
+		p := m.CostPerOp(class, 0.03, 1e6, 1e6, ceiling)
+		if !close(p.Advantage, factor, 1e-9) {
+			t.Fatalf("advantage at ceiling = %v, want %v", p.Advantage, factor)
+		}
+		q := m.CostPerOp(class, 0.03, 1e6, 1e6, ceiling*1.01)
+		if q.Advantage >= factor {
+			t.Fatalf("advantage above ceiling = %v, should drop below %v", q.Advantage, factor)
+		}
+	}
+	// The capacity price ratio at 6% DRAM is 2.40/(0.06*2.40+0.12) = 9.1x:
+	// a 10x advantage is unreachable even with zero writes.
+	if _, ok := m.HoldsCeiling(class, 0.06, 1e6, 10); ok {
+		t.Fatalf("10x at 6%% DRAM should be unreachable — capacity ratio is 9.1x")
+	}
+}
+
+// TestBreakEvenFraction checks interpolation and the no-crossing cases.
+func TestBreakEvenFraction(t *testing.T) {
+	pts := []RatioPoint{{0.01, 4}, {0.03, 2}, {0.06, 0.5}}
+	f, ok := BreakEvenFraction(pts)
+	if !ok {
+		t.Fatalf("crossing between 0.03 and 0.06 not found")
+	}
+	// Linear interpolation: 0.03 + (1-2)/(0.5-2) * 0.03 = 0.05.
+	if !close(f, 0.05, 1e-12) {
+		t.Fatalf("break-even fraction = %v, want 0.05", f)
+	}
+	if _, ok := BreakEvenFraction([]RatioPoint{{0.01, 4}, {0.06, 2}}); ok {
+		t.Fatalf("no crossing should report ok=false")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	for _, tc := range []struct {
+		adv  float64
+		want string
+	}{{25, "holds"}, {10, "holds"}, {3, "erodes"}, {1, "erodes"}, {0.8, "flips"}} {
+		if got := Verdict(tc.adv); got != tc.want {
+			t.Fatalf("Verdict(%v) = %q, want %q", tc.adv, got, tc.want)
+		}
+	}
+}

@@ -532,6 +532,13 @@ func (d *Device) WriteAmplification() float64 {
 	return float64(host+d.GCPageMoves.Value()+d.RemapMoves.Value()) / float64(host)
 }
 
+// ProgramCount returns the total page programs the device has performed —
+// host writes plus GC relocations plus remap copies — the quantity that
+// consumes P/E endurance and that the economics model prices as wear.
+func (d *Device) ProgramCount() uint64 {
+	return d.Writes.Value() + d.GCPageMoves.Value() + d.RemapMoves.Value()
+}
+
 // BlockedReadFraction returns the fraction of reads that arrived during an
 // in-progress GC pass and had to wait for it (Section VI-D's metric).
 func (d *Device) BlockedReadFraction() float64 {

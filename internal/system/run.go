@@ -56,6 +56,15 @@ type Result struct {
 	BCFallbacks         uint64 // exhausted-retry recovered-copy completions
 	WriteAmplification  float64
 
+	// Admission-filter observables (all zero under admit-all).
+	AdmissionBypassed uint64 // fetches the policy diverted to the bypass ring
+	BypassHits        uint64 // accesses served from the bypass ring
+	BypassWritebacks  uint64 // dirty ring evictions written to flash
+	// FlashPrograms is total page programs (host writes + GC moves +
+	// remap copies) in the window — the wear quantity the economics
+	// model prices.
+	FlashPrograms uint64
+
 	// Open-loop admission and deadline observables (RunSource runs; all
 	// zero for closed-loop and unlimited open-loop runs).
 	Offered        uint64 // arrivals the source generated in the window
@@ -183,6 +192,10 @@ func (s *System) collect(windowNs int64, snap map[string]uint64) Result {
 		BCTimeouts:          d["dramcache.bc_timeouts"],
 		BCFallbacks:         d["dramcache.bc_fallbacks"],
 		WriteAmplification:  s.flash.WriteAmplification(),
+		AdmissionBypassed:   d["dramcache.adm_bypassed"],
+		BypassHits:          d["dramcache.bypass_hits"],
+		BypassWritebacks:    d["dramcache.bypass_dirty_writebacks"],
+		FlashPrograms:       d["flash.writes"] + d["flash.gc_page_moves"] + d["flash.remap_moves"],
 		Counters:            d,
 
 		Admitted:       d["system.admitted"],

@@ -115,6 +115,10 @@ type Config struct {
 	FlashReadTimeoutNs int64
 	FlashReadRetries   int
 
+	// Admission selects the DRAM cache's flash-write admission policy
+	// (dramcache.AdmissionConfig); the zero value is admit-all.
+	Admission dramcache.AdmissionConfig
+
 	// RunDeadline aborts the simulation (with engine diagnostics) if a
 	// single run exceeds this much wall-clock time. 0 means no deadline.
 	RunDeadline time.Duration
@@ -179,6 +183,9 @@ func (c Config) Validate() error {
 	}
 	if c.DRAMCacheFraction <= 0 || c.DRAMCacheFraction > 1 {
 		return fmt.Errorf("system: DRAM cache fraction %v out of (0,1]", c.DRAMCacheFraction)
+	}
+	if _, err := dramcache.NewAdmissionPolicy(c.Admission); err != nil {
+		return err
 	}
 	if c.CustomWorkload == nil {
 		if err := c.Workload.Validate(); err != nil {
@@ -315,6 +322,7 @@ func New(cfg Config) (*System, error) {
 	dcCfg.Replacement = cfg.CacheReplacement
 	dcCfg.FlashReadTimeoutNs = cfg.FlashReadTimeoutNs
 	dcCfg.FlashReadRetries = cfg.FlashReadRetries
+	dcCfg.Admission = cfg.Admission
 	dc := dramcache.New(eng, dcCfg, dev, fl)
 	if cfg.FootprintCache {
 		dc.EnableFootprint(dramcache.DefaultFootprintConfig())

@@ -138,6 +138,10 @@ type Config struct {
 	OpsPerJob int
 	// WriteFraction is the probability an operation mutates.
 	WriteFraction float64
+	// ObjectBytes sizes the tinykv workload's objects (0 = its 128 B
+	// default). Tiny objects scatter writes across many distinct flash
+	// pages, the Nemo-style regime where write amplification moves.
+	ObjectBytes uint64
 	// Seed derives all workload-local randomness.
 	Seed uint64
 }

@@ -224,6 +224,10 @@ func benchExperiments(cfg ExpConfig) []struct {
 			_, err := OverloadSweep(cfg, "tatp", []float64{0.5, 1.5})
 			return err
 		}},
+		{"economics/tinykv", func() error {
+			_, err := EconomicsSweep(cfg)
+			return err
+		}},
 		// Full-scale paper configuration: 16 cores over a 2 GB dataset,
 		// the sizing the paper's figures use. Construction at this scale
 		// is the stressor (half a million flash pages, a ~55M-key B+tree
